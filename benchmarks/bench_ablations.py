@@ -1,0 +1,133 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Each ablation flips one mechanism and reports what it buys, using the
+full corpus:
+
+1. Sub-block dirty bits (Section 5.2): write-back bytes with and without
+   partial-line write-backs, per line size.
+2. Valid-bit granularity (Section 4): word (4 B) vs double-word (8 B)
+   valid bits — coarser granules force fetch-on-write fallbacks for
+   narrow stores.
+3. Victim-mode write cache (Section 3.2's extension): how many L1 read
+   misses a small write cache can also service.
+"""
+
+from conftest import run_once
+
+from repro.buffers.write_cache import WriteCache
+from repro.cache.config import CacheConfig
+from repro.cache.policies import WriteHitPolicy, WriteMissPolicy
+from repro.common.render import format_table
+from repro.core.runner import run_suite
+from repro.trace.corpus import BENCHMARK_NAMES, load
+from repro.trace.events import WRITE
+
+
+def _suite_totals(config):
+    results = run_suite(config)
+    totals = {}
+    for stats in results.values():
+        for field in ("writeback_bytes", "flush_writeback_bytes", "fetches", "writes"):
+            totals[field] = totals.get(field, 0) + getattr(stats, field)
+    return totals
+
+
+def test_ablation_subblock_dirty_writeback(benchmark, record):
+    def compute():
+        rows = []
+        for line_size in (16, 32, 64):
+            full = _suite_totals(CacheConfig(size=8192, line_size=line_size))
+            partial = _suite_totals(
+                CacheConfig(size=8192, line_size=line_size, subblock_dirty_writeback=True)
+            )
+            full_bytes = full["writeback_bytes"] + full["flush_writeback_bytes"]
+            partial_bytes = partial["writeback_bytes"] + partial["flush_writeback_bytes"]
+            rows.append(
+                [
+                    f"{line_size}B",
+                    full_bytes,
+                    partial_bytes,
+                    100.0 * (1 - partial_bytes / full_bytes),
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, compute)
+    text = format_table(
+        ["line size", "full-line WB bytes", "sub-block WB bytes", "% saved"],
+        rows,
+        title="Ablation: sub-block dirty bits (Section 5.2)",
+    )
+    record("ablation_subblock", text)
+    # The paper: worthwhile for lines of 32 B and larger (<65% dirty).
+    saved_by_line = {row[0]: row[3] for row in rows}
+    assert saved_by_line["64B"] > saved_by_line["16B"]
+    assert saved_by_line["64B"] > 25.0
+
+
+def test_ablation_valid_granularity(benchmark, record):
+    def compute():
+        rows = []
+        for granularity in (4, 8):
+            config = CacheConfig(
+                size=8192,
+                line_size=16,
+                write_hit=WriteHitPolicy.WRITE_THROUGH,
+                write_miss=WriteMissPolicy.WRITE_VALIDATE,
+                valid_granularity=granularity,
+            )
+            results = run_suite(config)
+            fetches = sum(stats.fetches for stats in results.values())
+            fallbacks = sum(stats.fetches_for_writes for stats in results.values())
+            rows.append([f"{granularity}B granules", fetches, fallbacks])
+        return rows
+
+    rows = run_once(benchmark, compute)
+    text = format_table(
+        ["valid-bit granularity", "total fetches", "fetch-on-write fallbacks"],
+        rows,
+        title="Ablation: write-validate valid-bit granularity (Section 4)",
+    )
+    record("ablation_granularity", text)
+    # Word granularity never falls back; 8 B granules must fall back for
+    # every word store that misses, costing fetches.
+    assert rows[0][2] == 0
+    assert rows[1][2] > 0
+    assert rows[1][1] >= rows[0][1]
+
+
+def test_ablation_victim_mode_write_cache(benchmark, record):
+    def compute():
+        rows = []
+        for name in BENCHMARK_NAMES:
+            trace = load(name)
+            write_cache = WriteCache(entries=8, victim_mode=True)
+            serviced = 0
+            probes = 0
+            for address, kind in zip(trace.addresses, trace.kinds):
+                if kind == WRITE:
+                    write_cache.write(address, 4)
+                elif probes % 16 == 0:
+                    # Sample reads as stand-ins for L1 misses.
+                    serviced += write_cache.probe_read(address)
+                if kind != WRITE:
+                    probes += 1
+            stats = write_cache.stats
+            rows.append(
+                [
+                    name,
+                    stats.read_probes,
+                    stats.read_hits,
+                    100.0 * stats.read_hits / stats.read_probes if stats.read_probes else 0.0,
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, compute)
+    text = format_table(
+        ["program", "read probes", "read hits", "% serviced"],
+        rows,
+        title="Ablation: victim-mode write cache (Section 3.2 extension)",
+    )
+    record("ablation_victim_mode", text)
+    assert any(row[2] > 0 for row in rows)

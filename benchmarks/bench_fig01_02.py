@@ -1,0 +1,19 @@
+"""Figures 1-2: write-back vs write-through write-hit behaviour."""
+
+from conftest import run_once
+
+from repro.core.figures.write_hits import fig01, fig02
+
+
+def test_fig01_dirty_fraction_by_line_size(benchmark, record):
+    result = run_once(benchmark, fig01)
+    record("fig01", result.render())
+    average = result.series["average"]
+    assert average == sorted(average), "average must rise with line size"
+
+
+def test_fig02_dirty_fraction_by_cache_size(benchmark, record):
+    result = run_once(benchmark, fig02)
+    record("fig02", result.render())
+    for name in ("grr", "yacc", "met"):
+        assert result.value(name, 128) >= 80

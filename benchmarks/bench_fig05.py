@@ -1,0 +1,19 @@
+"""Figure 5: coalescing write buffer merges vs CPI."""
+
+from conftest import run_once
+
+from repro.core.figures.write_buffer_fig import fig05
+
+
+def test_fig05_write_buffer_tension(benchmark, record):
+    result = run_once(benchmark, fig05)
+    record("fig05", result.render())
+    merges = result.series["% merged (write buffer)"]
+    cpis = result.series["stall CPI"]
+    x = list(result.x_values)
+    # Fast retirement merges little; slow retirement merges lots but
+    # stalls hard — the paper's central write-buffer finding.
+    assert merges[x.index(4)] < 25
+    assert merges[x.index(48)] > 40
+    assert cpis[x.index(4)] < 0.2
+    assert cpis[x.index(48)] > 0.5

@@ -1,0 +1,36 @@
+"""Figures 7-9: write-cache traffic reduction."""
+
+from conftest import run_once
+
+from repro.core.figures.write_cache_fig import fig07, fig08, fig09
+
+
+def test_fig07_absolute_reduction(benchmark, record):
+    result = run_once(benchmark, fig07)
+    record("fig07", result.render())
+    # Paper: five 8 B entries remove ~40% of all writes on average.
+    assert 25 <= result.value("average", 5) <= 55
+    # linpack/liver stream doubles: near-zero merging.
+    assert result.value("linpack", 16) < 10
+    assert result.value("liver", 16) < 10
+
+
+def test_fig08_relative_to_4kb_write_back(benchmark, record):
+    result = run_once(benchmark, fig08)
+    record("fig08", result.render())
+    # Paper: five entries recover ~63% of the write-back cache's benefit.
+    assert 40 <= result.value("average", 5) <= 90
+    # The fully-associative write cache beats the conflict-ridden
+    # direct-mapped write-back cache on liver.
+    assert result.value("liver", 8) > 100
+
+
+def test_fig09_relative_vs_wb_size(benchmark, record):
+    result = run_once(benchmark, fig09)
+    record("fig09", result.render())
+    five_entry = result.series["5 entry write cache"]
+    # Declines gently as the comparison write-back cache grows...
+    assert five_entry[0] > five_entry[-1]
+    # ...but "surprisingly small considering the 32:1 ratio in size".
+    x = list(result.x_values)
+    assert five_entry[x.index(32)] > 0.4 * five_entry[x.index(1)]

@@ -1,0 +1,22 @@
+"""Figures 10-11: write misses as a share of all misses."""
+
+from conftest import run_once
+
+from repro.core.figures.write_miss_fig import fig10, fig11
+
+
+def test_fig10_by_cache_size(benchmark, record):
+    result = run_once(benchmark, fig10)
+    record("fig10", result.render())
+    # "varies dramatically depending on the benchmark"
+    spread = [result.value(name, 8) for name in ("ccom", "linpack", "liver")]
+    assert max(spread) - min(spread) > 15
+    # linpack's read-modify-write stores almost never miss.
+    assert result.value("linpack", 8) < 2
+
+
+def test_fig11_by_line_size(benchmark, record):
+    result = run_once(benchmark, fig11)
+    record("fig11", result.render())
+    average = result.series["average"]
+    assert all(5 <= value <= 50 for value in average)

@@ -1,0 +1,53 @@
+"""Figures 13-16: miss-rate reductions of the write-miss strategies."""
+
+from conftest import run_once
+
+from repro.core.figures.write_miss_fig import fig13, fig14, fig15, fig16
+
+
+def test_fig13_write_miss_reduction_by_size(benchmark, record):
+    result = run_once(benchmark, fig13)
+    record("fig13", result.render())
+    # Paper: write-validate removes >90% of write misses on average.
+    assert all(value > 90 for value in result.series["write-validate"])
+    # Write-around exceeds 100% on liver in the 32-64 KB window.
+    liver_around = result.extra["per_workload"]["write-around"]["liver"]
+    x = list(result.x_values)
+    assert liver_around[x.index(32)] > 100
+    assert liver_around[x.index(64)] > 100
+
+
+def test_fig14_total_miss_reduction_by_size(benchmark, record):
+    result = run_once(benchmark, fig14)
+    record("fig14", result.render())
+    # Strategy ordering on average (validate vs invalidate guaranteed).
+    for index in range(len(result.x_values)):
+        assert (
+            result.series["write-validate"][index]
+            >= result.series["write-invalidate"][index]
+        )
+    per_workload = result.extra["per_workload"]
+    # ccom and liver benefit the most from write-validate; linpack least.
+    validate = per_workload["write-validate"]
+    x = list(result.x_values)
+    i8 = x.index(8)
+    assert validate["linpack"][i8] < min(validate["ccom"][i8], validate["liver"][i8])
+
+
+def test_fig15_write_miss_reduction_by_line(benchmark, record):
+    result = run_once(benchmark, fig15)
+    record("fig15", result.render())
+    # Benefits shrink as lines grow (for the no-allocate strategies).
+    for policy in ("write-around", "write-invalidate"):
+        series = result.series[policy]
+        assert series[0] > series[-1]
+
+
+def test_fig16_total_miss_reduction_by_line(benchmark, record):
+    result = run_once(benchmark, fig16)
+    record("fig16", result.render())
+    for index in range(len(result.x_values)):
+        assert (
+            result.series["write-validate"][index]
+            >= result.series["write-invalidate"][index]
+        )

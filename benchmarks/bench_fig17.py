@@ -1,0 +1,19 @@
+"""Figure 17: the partial order of fetch traffic, verified exhaustively."""
+
+from conftest import run_once
+
+from repro.core.figures.write_miss_fig import fig17
+
+
+def test_fig17_partial_order(benchmark, record):
+    result = run_once(benchmark, fig17)
+    record("fig17", result.render())
+    assert result.extra["violations"] == []
+    # Fetch-on-write tops every size; write-validate bottoms every size.
+    fow = result.series["fetch-on-write"]
+    validate = result.series["write-validate"]
+    invalidate = result.series["write-invalidate"]
+    around = result.series["write-around"]
+    for index in range(len(result.x_values)):
+        assert validate[index] <= invalidate[index] <= fow[index]
+        assert around[index] <= invalidate[index]

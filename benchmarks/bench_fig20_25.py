@@ -1,0 +1,63 @@
+"""Figures 20-25: dirty-victim statistics of write-back caches."""
+
+from conftest import run_once
+
+from repro.core.figures.victims_fig import fig20, fig21, fig22, fig23, fig24, fig25
+
+
+def test_fig20_victims_dirty_by_size(benchmark, record):
+    result = run_once(benchmark, fig20)
+    record("fig20", result.render(chart=False))
+    # "On average, about 50% of the victims are dirty, but this
+    # percentage varies widely from program to program."
+    assert 30 <= result.value("average", 8) <= 70
+    spread = [result.value(name, 8) for name in ("ccom", "grr", "linpack")]
+    assert max(spread) - min(spread) > 10
+
+
+def test_fig21_bytes_dirty_in_dirty_victim_by_size(benchmark, record):
+    result = run_once(benchmark, fig21)
+    record("fig21", result.render(chart=False))
+    average = result.series["average"]
+    # ~70% for small caches, rising with cache size.
+    assert 50 <= average[0] <= 90
+    assert average[-1] >= average[0]
+    # Unit-stride numeric codes dirty essentially whole lines.
+    assert result.value("linpack", 8) > 90
+
+
+def test_fig22_bytes_dirty_per_victim_by_size(benchmark, record):
+    result = run_once(benchmark, fig22)
+    record("fig22", result.render(chart=False))
+    # Product of Figs 20 and 21: below both, rising with size overall.
+    for index, x in enumerate(result.x_values):
+        fig20_value = fig20().series["average (flush)"][index]
+        assert result.series["average"][index] <= fig20_value + 1e-9
+
+
+def test_fig23_victims_dirty_by_line(benchmark, record):
+    result = run_once(benchmark, fig23)
+    record("fig23", result.render(chart=False))
+    average = result.series["average"]
+    # About flat or slightly decreasing with line size.
+    assert abs(average[0] - average[-1]) < 25
+
+
+def test_fig24_bytes_dirty_in_dirty_victim_by_line(benchmark, record):
+    result = run_once(benchmark, fig24)
+    record("fig24", result.render(chart=False))
+    # 100% at 4 B lines (no sub-word writes in the modelled ISA)...
+    assert result.value("average", 4) > 99
+    # ...dropping rapidly for long lines.
+    assert result.value("average", 64) < 65
+    # Numeric codes stay highest at 8 B lines (all-double writes).
+    assert result.value("linpack", 8) > 95
+
+
+def test_fig25_bytes_dirty_per_victim_by_line(benchmark, record):
+    result = run_once(benchmark, fig25)
+    record("fig25", result.render(chart=False))
+    average = result.series["average"]
+    assert all(a >= b for a, b in zip(average, average[1:])), (
+        "dirty bytes per victim must fall as lines grow"
+    )

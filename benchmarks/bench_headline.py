@@ -1,0 +1,12 @@
+"""Sections 3.3 and 6: the paper's headline claims, paper vs measured."""
+
+from conftest import run_once
+
+from repro.core.headline import headline_claims, render_claims
+
+
+def test_headline_claims(benchmark, record):
+    claims = run_once(benchmark, headline_claims)
+    record("headline", render_claims(claims))
+    out_of_band = [claim.name for claim in claims if not claim.within_band]
+    assert not out_of_band, out_of_band

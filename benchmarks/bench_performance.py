@@ -1,0 +1,70 @@
+"""Performance comparison: CPI by write policy (latency view of Section 4).
+
+The traffic figures say how many transactions each policy makes; this
+bench feeds the same runs through the CPI model to show what they *cost*
+— reproducing the paper's framing that write-miss policies are foremost
+about latency (eliminated fetches) while write-hit policies are about
+bandwidth (port occupancy).
+"""
+
+from conftest import run_once
+
+from repro.cache.config import CacheConfig
+from repro.cache.policies import WriteHitPolicy, WriteMissPolicy
+from repro.common.render import format_table
+from repro.core.performance import estimate_performance
+from repro.core.runner import run
+from repro.hierarchy.timing import MemoryTiming
+from repro.trace.corpus import BENCHMARK_NAMES
+
+CONFIGS = [
+    ("WB + fetch-on-write", WriteHitPolicy.WRITE_BACK, WriteMissPolicy.FETCH_ON_WRITE),
+    ("WB + write-validate", WriteHitPolicy.WRITE_BACK, WriteMissPolicy.WRITE_VALIDATE),
+    ("WT + fetch-on-write", WriteHitPolicy.WRITE_THROUGH, WriteMissPolicy.FETCH_ON_WRITE),
+    ("WT + write-validate", WriteHitPolicy.WRITE_THROUGH, WriteMissPolicy.WRITE_VALIDATE),
+    ("WT + write-around", WriteHitPolicy.WRITE_THROUGH, WriteMissPolicy.WRITE_AROUND),
+    ("WT + write-invalidate", WriteHitPolicy.WRITE_THROUGH, WriteMissPolicy.WRITE_INVALIDATE),
+]
+
+TIMING = MemoryTiming(fetch_latency=20, transaction_overhead=6, cycles_per_byte=0.5)
+
+
+def test_cpi_by_policy(benchmark, record):
+    def compute():
+        rows = []
+        for label, hit, miss in CONFIGS:
+            config = CacheConfig(size=8192, line_size=16, write_hit=hit, write_miss=miss)
+            total_cycles = 0.0
+            total_instructions = 0
+            miss_cycles = 0.0
+            for name in BENCHMARK_NAMES:
+                stats = run(name, config)
+                estimate = estimate_performance(stats, TIMING)
+                total_cycles += estimate.total_cycles
+                total_instructions += estimate.instructions
+                miss_cycles += estimate.fetch_stall_cycles
+            rows.append(
+                [
+                    label,
+                    total_cycles / total_instructions,
+                    miss_cycles / total_instructions,
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, compute)
+    text = format_table(
+        ["configuration", "CPI", "miss-stall CPI"],
+        rows,
+        title="Estimated CPI by write policy (8KB/16B, suite aggregate)",
+        float_format="{:.3f}",
+    )
+    record("performance_cpi", text)
+    cpi = {row[0]: row[1] for row in rows}
+    # No-fetch-on-write policies win on latency, under both hit policies.
+    assert cpi["WB + write-validate"] < cpi["WB + fetch-on-write"]
+    assert cpi["WT + write-validate"] < cpi["WT + fetch-on-write"]
+    assert cpi["WT + write-around"] < cpi["WT + fetch-on-write"]
+    assert cpi["WT + write-invalidate"] < cpi["WT + fetch-on-write"]
+    # And the latency ordering follows the fetch-traffic partial order.
+    assert cpi["WT + write-validate"] <= cpi["WT + write-invalidate"]

@@ -1,0 +1,68 @@
+"""Robustness: seed sensitivity and warm-start accounting.
+
+Synthetic workloads raise the question of how much each reproduced
+number owes to a particular random draw.  These benches re-measure key
+figures under different generator seeds, and compare the three
+end-of-run accounting modes (cold stop / flush stop / Emer warm start).
+"""
+
+from conftest import run_once
+
+from repro.cache.config import CacheConfig
+from repro.cache.fastsim import simulate_trace
+from repro.common.render import format_table
+from repro.core.seeds import format_spread, seed_sensitivity
+from repro.core.warmstart import run_warm
+from repro.trace.corpus import BENCHMARK_NAMES, load
+
+
+def test_seed_sensitivity_of_key_figures(benchmark, record):
+    def compute():
+        return [
+            seed_sensitivity("fig01", seeds=(1991, 7)),
+            seed_sensitivity("fig02", seeds=(1991, 7)),
+            seed_sensitivity("fig07", seeds=(1991, 7)),
+        ]
+
+    spreads = run_once(benchmark, compute)
+    text = "\n".join(format_spread(spread) for spread in spreads)
+    record("robustness_seeds", text)
+    for spread in spreads:
+        # Random draws move curves by points, not tens of points; the
+        # paper-level effects are tens of points.
+        assert spread.max_spread < 10.0, spread.figure_id
+
+
+def test_accounting_modes_agree_in_direction(benchmark, record):
+    """Cold stop understates dirty-victim traffic for big caches; flush
+    stop and warm start both correct it, in agreement."""
+
+    def compute():
+        config = CacheConfig(size=64 * 1024, line_size=16)
+        rows = []
+        for name in BENCHMARK_NAMES:
+            trace = load(name)
+            cold = simulate_trace(trace, config, flush=True)
+            warm = run_warm(trace, config)
+            rows.append(
+                [
+                    name,
+                    100.0 * cold.fraction_victims_dirty,
+                    100.0 * cold.fraction_victims_dirty_flush,
+                    100.0 * warm.fraction_victims_dirty,
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, compute)
+    text = format_table(
+        ["program", "cold stop %dirty", "flush stop %dirty", "warm start %dirty"],
+        rows,
+        title="Victim dirtiness under three accounting modes (64KB/16B)",
+    )
+    record("robustness_accounting", text)
+    corrected_up = 0
+    for name, cold, flush, warm in rows:
+        if flush > cold - 1e-9:
+            corrected_up += warm >= cold - 5.0
+    assert corrected_up >= 4  # both corrections point the same way

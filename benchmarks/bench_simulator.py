@@ -1,0 +1,51 @@
+"""Simulator throughput benchmarks (references per second).
+
+These are conventional timing benchmarks (multiple rounds): they track
+the speed of the two engines so regressions in the hot loops show up.
+"""
+
+import pytest
+
+from repro.cache.cache import Cache
+from repro.cache.config import CacheConfig
+from repro.cache.fastsim import simulate_trace
+from repro.cache.policies import WriteHitPolicy, WriteMissPolicy
+from repro.trace.corpus import load
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return load("grr", scale=0.3)
+
+
+def test_fastsim_throughput_write_back(benchmark, trace):
+    config = CacheConfig(size=8192, line_size=16)
+    stats = benchmark(simulate_trace, trace, config)
+    assert stats.fetches > 0
+
+
+def test_fastsim_throughput_write_validate(benchmark, trace):
+    config = CacheConfig(
+        size=8192,
+        line_size=16,
+        write_hit=WriteHitPolicy.WRITE_THROUGH,
+        write_miss=WriteMissPolicy.WRITE_VALIDATE,
+    )
+    stats = benchmark(simulate_trace, trace, config)
+    assert stats.validate_allocations > 0
+
+
+def test_reference_simulator_throughput(benchmark, trace):
+    def run():
+        cache = Cache(CacheConfig(size=8192, line_size=16))
+        return cache.run(trace)
+
+    stats = benchmark(run)
+    assert stats.fetches > 0
+
+
+def test_trace_generation_throughput(benchmark):
+    from repro.trace.workloads import WORKLOADS
+
+    trace = benchmark(lambda: WORKLOADS["met"](scale=0.1).build())
+    assert len(trace) > 0

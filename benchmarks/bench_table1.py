@@ -1,0 +1,11 @@
+"""Table 1: test program characteristics of the synthetic corpus."""
+
+from conftest import run_once
+
+from repro.core.figures.tables_fig import table1
+
+
+def test_table1(benchmark, record):
+    text = run_once(benchmark, table1)
+    record("table1", text)
+    assert "ccom" in text and "liver" in text

@@ -1,0 +1,38 @@
+"""Benchmark-harness helpers.
+
+Every bench regenerates one of the paper's tables/figures at full scale,
+times the regeneration via pytest-benchmark, prints the same rows/series
+the paper reports, and archives the rendering under
+``benchmarks/results/`` for later inspection (EXPERIMENTS.md is written
+from these).
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record(results_dir):
+    """Print a rendered artefact and archive it by figure id."""
+
+    def _record(figure_id: str, text: str) -> None:
+        print()
+        print(text)
+        (results_dir / f"{figure_id}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return _record
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Time one full regeneration (results are memoised per process, so
+    repeated rounds would only measure the cache)."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,94 @@
+"""Victim structures: buffer, cache, and associativity compared.
+
+A direct-mapped cache needs somewhere to put replaced lines.  This study
+walks the design ladder on a conflict-heavy workload (liver, whose input
+and output streams alias below 64 KB):
+
+1. nothing — every conflict miss refetches from memory;
+2. a dirty-victim *buffer* — hides write-back latency, saves no misses;
+3. a victim *cache* — turns recent conflict misses into swaps;
+4. two-way associativity — removes the conflicts at the source.
+
+Usage::
+
+    python examples/victim_structures_study.py [--size 4KB] [--scale 0.3]
+"""
+
+import argparse
+
+from repro import CacheConfig, Cache, MainMemory, load_trace
+from repro.buffers.victim_buffer import DirtyVictimBuffer, dirty_victim_times
+from repro.buffers.victim_cache import attach_victim_cache
+from repro.cache.fastsim import simulate_trace
+from repro.common.render import format_table
+from repro.common.units import parse_size
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", default="4KB")
+    parser.add_argument("--scale", type=float, default=0.3)
+    parser.add_argument("--benchmark", default="liver")
+    args = parser.parse_args()
+
+    trace = load_trace(args.benchmark, scale=args.scale)
+    size = parse_size(args.size)
+    rows = []
+
+    # 1. Bare direct-mapped cache.
+    bare = simulate_trace(trace, CacheConfig(size=size, line_size=16))
+    rows.append(["direct-mapped, nothing", bare.fetches, "-"])
+
+    # 2. Dirty-victim buffer: same misses, but measures write-back stalls.
+    times, instructions = dirty_victim_times(
+        trace, CacheConfig(size=size, line_size=16)
+    )
+    buffer_stats = DirtyVictimBuffer(entries=1, retire_interval=6).simulate(
+        times, instructions
+    )
+    rows.append(
+        [
+            "DM + 1-entry dirty-victim buffer",
+            bare.fetches,
+            f"{buffer_stats.stall_fraction:.1%} victims stalled",
+        ]
+    )
+
+    # 3. Victim cache: misses serviced by swaps never reach memory.
+    memory = MainMemory()
+    cache = Cache(CacheConfig(size=size, line_size=16))
+    backend = attach_victim_cache(cache, entries=4, memory=memory)
+    cache.run(trace)
+    rows.append(
+        [
+            "DM + 4-entry victim cache",
+            memory.meter.fetches,
+            f"{backend.victim_cache.stats.hit_fraction:.1%} misses swapped",
+        ]
+    )
+
+    # 4. Two-way set-associative cache.
+    two_way = simulate_trace(
+        trace, CacheConfig(size=size, line_size=16, associativity=2)
+    )
+    rows.append(["2-way set-associative", two_way.fetches, "-"])
+
+    print(f"{args.benchmark} through a {args.size} cache ({len(trace)} refs)")
+    print()
+    print(
+        format_table(
+            ["organisation", "memory fetches", "notes"],
+            rows,
+            title="Conflict-miss mitigation ladder",
+        )
+    )
+    print()
+    print(
+        "The victim cache recovers conflict misses a dirty-victim buffer\n"
+        "cannot (the buffer only hides write-back latency), approaching —\n"
+        "and on pathological aliasing beating — two-way associativity."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""repro — a reproduction of Jouppi, "Cache Write Policies and Performance".
+
+(WRL Research Report 91/12, December 1991; also ISCA 1993.)
+
+The library provides:
+
+- :mod:`repro.trace` — synthetic models of the paper's six benchmarks and
+  trace tooling;
+- :mod:`repro.cache` — the cache simulator with the full write-hit /
+  write-miss policy matrix;
+- :mod:`repro.buffers` — coalescing write buffer, write cache, dirty
+  victim buffer;
+- :mod:`repro.hierarchy` — memory back-end and system composition;
+- :mod:`repro.pipeline` — store timing and hardware-cost models;
+- :mod:`repro.core` — experiment runner, sweeps, figure drivers and
+  headline-claim extraction.
+
+Quick start::
+
+    from repro import CacheConfig, simulate, load_trace
+
+    trace = load_trace("ccom")
+    stats = simulate(trace, CacheConfig(size="8KB", line_size=16))
+    print(stats.miss_ratio, stats.fraction_writes_to_dirty)
+"""
+
+from repro.cache import (
+    Cache,
+    CacheConfig,
+    CacheStats,
+    FETCH_ON_WRITE,
+    WRITE_AROUND,
+    WRITE_BACK,
+    WRITE_INVALIDATE,
+    WRITE_THROUGH,
+    WRITE_VALIDATE,
+    WriteHitPolicy,
+    WriteMissPolicy,
+)
+from repro.cache.fastsim import simulate_trace as simulate
+from repro.trace import MemRef, Trace
+from repro.trace.corpus import BENCHMARK_NAMES, load as load_trace
+from repro.buffers import CoalescingWriteBuffer, DirtyVictimBuffer, WriteCache
+from repro.hierarchy import CacheSystem, MainMemory
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "CacheStats",
+    "WriteHitPolicy",
+    "WriteMissPolicy",
+    "WRITE_THROUGH",
+    "WRITE_BACK",
+    "FETCH_ON_WRITE",
+    "WRITE_VALIDATE",
+    "WRITE_AROUND",
+    "WRITE_INVALIDATE",
+    "simulate",
+    "MemRef",
+    "Trace",
+    "BENCHMARK_NAMES",
+    "load_trace",
+    "CoalescingWriteBuffer",
+    "DirtyVictimBuffer",
+    "WriteCache",
+    "CacheSystem",
+    "MainMemory",
+    "__version__",
+]

@@ -1,0 +1,35 @@
+"""Write-side buffering structures (Section 3 of the paper).
+
+- :class:`repro.buffers.write_buffer.CoalescingWriteBuffer` — the timing
+  model behind Fig. 5: merge rate and CPU stall CPI as a function of the
+  retirement interval.
+- :class:`repro.buffers.write_cache.WriteCache` — the paper's proposal: a
+  small fully-associative cache of 8 B lines behind a write-through cache
+  (Figs 6-9), optionally with victim-cache functionality.
+- :class:`repro.buffers.victim_buffer.DirtyVictimBuffer` — the write-back
+  cache's counterpart buffer (Table 3).
+"""
+
+from repro.buffers.write_buffer import CoalescingWriteBuffer, WriteBufferStats
+from repro.buffers.write_cache import WriteCache, WriteCacheBackend, WriteCacheStats
+from repro.buffers.victim_buffer import DirtyVictimBuffer, VictimBufferStats
+from repro.buffers.victim_cache import (
+    VictimCache,
+    VictimCacheBackend,
+    VictimCacheStats,
+    attach_victim_cache,
+)
+
+__all__ = [
+    "CoalescingWriteBuffer",
+    "WriteBufferStats",
+    "WriteCache",
+    "WriteCacheBackend",
+    "WriteCacheStats",
+    "DirtyVictimBuffer",
+    "VictimBufferStats",
+    "VictimCache",
+    "VictimCacheBackend",
+    "VictimCacheStats",
+    "attach_victim_cache",
+]

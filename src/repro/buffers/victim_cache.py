@@ -1,0 +1,172 @@
+"""Victim cache (Jouppi 1990, the paper's reference [10]).
+
+Section 3.2 notes the write cache "can also be implemented with the
+additional functionality of a victim cache, in which case not all entries
+in the small fully-associative cache would be dirty."  This module
+provides the full-line victim cache itself: a small fully-associative
+buffer that captures every line replaced from a direct-mapped cache
+(clean or dirty) and services later misses to those lines, turning
+conflict misses into swaps instead of fetches.
+
+:class:`VictimCacheBackend` composes it behind a
+:class:`~repro.cache.cache.Cache` using the cache's ``victim_hook``.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.lru import LruTracker
+from repro.cache.backend import Backend
+from repro.cache.cache import Cache
+
+
+@dataclass
+class VictimCacheStats:
+    """Counters for one victim-cache run."""
+
+    inserts: int = 0  #: victims captured from the primary cache
+    fetch_probes: int = 0  #: primary-cache misses that probed here
+    hits: int = 0  #: probes serviced without a memory fetch
+    evictions: int = 0  #: entries displaced to the next level
+    dirty_evictions: int = 0
+
+    @property
+    def hit_fraction(self) -> float:
+        """Fraction of primary-cache misses serviced by the victim cache."""
+        return self.hits / self.fetch_probes if self.fetch_probes else 0.0
+
+
+class VictimCache:
+    """Small fully-associative LRU buffer of whole victim lines."""
+
+    def __init__(self, entries: int, line_size: int) -> None:
+        if entries < 1:
+            raise ConfigurationError("victim cache needs at least one entry")
+        self.entries = entries
+        self.line_size = line_size
+        self.stats = VictimCacheStats()
+        self._lru = LruTracker()
+        #: line_address -> (valid_mask, dirty_mask)
+        self._lines: Dict[int, Tuple[int, int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def insert(self, line_address: int, valid_mask: int, dirty_mask: int) -> Optional[Tuple[int, int, int]]:
+        """Capture a victim; returns a displaced (address, valid, dirty) or None."""
+        self.stats.inserts += 1
+        displaced = None
+        if line_address in self._lru:
+            old_valid, old_dirty = self._lines[line_address]
+            self._lines[line_address] = (old_valid | valid_mask, old_dirty | dirty_mask)
+            self._lru.touch(line_address)
+            return None
+        if len(self._lru) >= self.entries:
+            evicted_address = self._lru.evict()
+            valid, dirty = self._lines.pop(evicted_address)
+            self.stats.evictions += 1
+            if dirty:
+                self.stats.dirty_evictions += 1
+            displaced = (evicted_address, valid, dirty)
+        self._lru.touch(line_address)
+        self._lines[line_address] = (valid_mask, dirty_mask)
+        return displaced
+
+    def take(self, line_address: int) -> Optional[Tuple[int, int]]:
+        """Remove and return (valid, dirty) for a line, if fully present.
+
+        Partial lines (write-validate residue) cannot service a full-line
+        fetch, so they do not count as hits.
+        """
+        state = self._lines.get(line_address)
+        if state is None:
+            return None
+        full_mask = (1 << self.line_size) - 1
+        if state[0] != full_mask:
+            return None
+        self._lru.discard(line_address)
+        del self._lines[line_address]
+        return state
+
+    def drain(self):
+        """Yield and clear every buffered (address, valid, dirty) entry."""
+        for line_address in self._lru.as_list():
+            yield (line_address, *self._lines[line_address])
+        self._lru.clear()
+        self._lines.clear()
+
+
+class VictimCacheBackend(Backend):
+    """Compose a victim cache between a primary cache and the next level.
+
+    Attach with :func:`attach_victim_cache`, which also wires the primary
+    cache's ``victim_hook``.
+    """
+
+    def __init__(self, victim_cache: VictimCache, memory: Backend) -> None:
+        self.victim_cache = victim_cache
+        self.memory = memory
+
+    def on_victim(self, line_address: int, valid_mask: int, dirty_mask: int) -> None:
+        """Primary-cache victim (clean or dirty) enters the buffer."""
+        displaced = self.victim_cache.insert(line_address, valid_mask, dirty_mask)
+        if displaced is not None:
+            address, _, dirty = displaced
+            if dirty:
+                self.memory.write_back(address, self.victim_cache.line_size, dirty)
+
+    def fetch(self, line_address: int, line_size: int):
+        self.victim_cache.stats.fetch_probes += 1
+        state = self.victim_cache.take(line_address)
+        if state is not None:
+            self.victim_cache.stats.hits += 1
+            # Swapped back into the primary cache.  The primary cache
+            # re-installs the line clean, so any dirty bytes must be
+            # retired to memory as part of the swap (a real
+            # implementation would instead transfer the dirty bit; this
+            # accounting is slightly pessimistic on write-back traffic
+            # and exact on fetch traffic).
+            _, dirty = state
+            if dirty:
+                self.memory.write_back(line_address, line_size, dirty)
+            return None
+        return self.memory.fetch(line_address, line_size)
+
+    def write_back(self, line_address: int, line_size: int, dirty_mask: int, data=None):
+        # Dirty victims come through the victim hook as well; the hook
+        # fires first and keeps the line buffered, so suppress the
+        # duplicate memory write-back while the line sits in the buffer.
+        if line_address not in self.victim_cache._lines:
+            self.memory.write_back(line_address, line_size, dirty_mask, data)
+
+    def write_through(self, address: int, size: int, data=None) -> None:
+        self.memory.write_through(address, size, data)
+
+    def flush(self) -> None:
+        """Drain remaining dirty entries to memory (end of run)."""
+        for line_address, _, dirty in self.victim_cache.drain():
+            if dirty:
+                self.memory.write_back(line_address, self.victim_cache.line_size, dirty)
+
+
+def attach_victim_cache(cache: Cache, entries: int, memory: Backend) -> VictimCacheBackend:
+    """Wire a victim cache between ``cache`` and ``memory``.
+
+    Only meaningful for direct-mapped primary caches (the structure
+    exists to absorb their conflict misses).
+    """
+    if not cache.config.is_direct_mapped:
+        raise ConfigurationError(
+            "a victim cache targets direct-mapped conflict misses; "
+            "use higher associativity instead for set-associative caches"
+        )
+    if cache.config.store_data:
+        raise ConfigurationError(
+            "the victim cache is a stats-only structure (it does not "
+            "buffer data); disable store_data on the primary cache"
+        )
+    backend = VictimCacheBackend(VictimCache(entries, cache.config.line_size), memory)
+    cache.backend = backend
+    cache.victim_hook = backend.on_victim
+    return backend

@@ -1,0 +1,57 @@
+"""The interface between a cache and the next lower level.
+
+The cache emits three kinds of transactions (Section 5's taxonomy): line
+fetches, dirty-victim write-backs (full line or dirty sub-blocks only),
+and write-throughs.  Anything implementing this interface can sit behind a
+cache: the counting main memory, a coalescing write buffer, a write cache,
+or another cache level (see :mod:`repro.hierarchy`).
+"""
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+
+class Backend(ABC):
+    """Next-lower-level interface a cache issues transactions to."""
+
+    @abstractmethod
+    def fetch(self, line_address: int, line_size: int) -> Optional[bytes]:
+        """Fetch a full line; returns its data, or ``None`` in stats-only mode."""
+
+    @abstractmethod
+    def write_back(
+        self,
+        line_address: int,
+        line_size: int,
+        dirty_mask: int,
+        data: Optional[bytes] = None,
+    ) -> None:
+        """Accept a dirty victim.  ``dirty_mask`` marks which bytes are dirty;
+        whether the transfer moves the whole line or only dirty sub-blocks is
+        the *cache's* decision, reflected in its byte counters."""
+
+    @abstractmethod
+    def write_through(self, address: int, size: int, data: Optional[bytes] = None) -> None:
+        """Accept a written-through store."""
+
+
+class NullBackend(Backend):
+    """A backend that absorbs everything and returns no data.
+
+    The default when a cache is simulated stand-alone for its own counters.
+    """
+
+    def fetch(self, line_address: int, line_size: int) -> Optional[bytes]:
+        return None
+
+    def write_back(
+        self,
+        line_address: int,
+        line_size: int,
+        dirty_mask: int,
+        data: Optional[bytes] = None,
+    ) -> None:
+        pass
+
+    def write_through(self, address: int, size: int, data: Optional[bytes] = None) -> None:
+        pass

@@ -1,0 +1,465 @@
+"""The reference cache simulator.
+
+Implements every write-hit x write-miss policy combination the paper
+studies, for arbitrary power-of-two geometry and associativity, with
+LRU/FIFO/random replacement and per-byte valid/dirty state.  Counters
+follow natural semantics (see :mod:`repro.cache.stats`).
+
+Accesses larger than a line are split into per-line segments, so 8 B
+doubles work with 4 B lines exactly as in the paper ("their behavior for
+4B and 8B lines are nearly identical ... each line only gets one write").
+
+An optional data-carrying mode moves real bytes through the cache and
+backend; the hypothesis suite uses it to prove that no policy combination
+ever loses or invents data.
+
+Extension hooks beyond the paper's baseline instrument:
+
+- ``subblock_fetch`` (sectored cache): demand misses fetch only the
+  touched sub-block and lines refill incrementally;
+- ``victim_hook``: every replaced line (clean or dirty) is reported, so
+  a victim cache (the paper's reference [10]) can be composed behind a
+  direct-mapped cache (see :mod:`repro.buffers.victim_cache`).
+"""
+
+import random
+from collections import OrderedDict
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.common.bitops import align_down, align_up, mask_bits, popcount
+from repro.common.errors import SimulationError
+from repro.cache.backend import Backend, NullBackend
+from repro.cache.config import CacheConfig
+from repro.cache.line import CacheLine
+from repro.cache.policies import WriteMissPolicy
+from repro.cache.stats import CacheStats
+from repro.trace.events import WRITE
+from repro.trace.trace import Trace
+
+#: Seed for the deterministic "random" replacement policy.
+_REPLACEMENT_SEED = 0xCACE
+
+
+class Cache:
+    """A single simulated cache level."""
+
+    def __init__(self, config: CacheConfig, backend: Optional[Backend] = None) -> None:
+        self.config = config
+        self.backend = backend if backend is not None else NullBackend()
+        self.stats = CacheStats(line_size=config.line_size)
+        # One ordered dict per set, tag -> CacheLine; for LRU, order =
+        # recency (refreshed on every touch); for FIFO, insertion order.
+        self._sets: List["OrderedDict[int, CacheLine]"] = [
+            OrderedDict() for _ in range(config.num_sets)
+        ]
+        self._flushed = False
+        self._rng = random.Random(_REPLACEMENT_SEED)
+        #: Called with ``(line_address, valid_mask, dirty_mask)`` for every
+        #: replaced line, dirty or clean (victim-cache integration point).
+        self.victim_hook: Optional[Callable[[int, int, int], None]] = None
+
+    # -- public access methods ------------------------------------------------
+
+    def read(self, address: int, size: int, into: Optional[bytearray] = None) -> None:
+        """Present a load of ``size`` bytes at ``address``.
+
+        In data mode, ``into`` (when given) receives the bytes read.
+        """
+        self._check_live()
+        self.stats.reads += 1
+        for line_address, offset, length in self._segments(address, size):
+            data = self._read_segment(line_address, offset, length)
+            if into is not None and data is not None:
+                start = (line_address + offset) - address
+                into[start : start + length] = data
+
+    def write(self, address: int, size: int, data: Optional[bytes] = None) -> None:
+        """Present a store of ``size`` bytes at ``address``."""
+        self._check_live()
+        self.stats.writes += 1
+        for line_address, offset, length in self._segments(address, size):
+            segment_data = None
+            if data is not None:
+                start = (line_address + offset) - address
+                segment_data = data[start : start + length]
+            self._write_segment(line_address, offset, length, segment_data)
+
+    def run(self, trace: Trace) -> CacheStats:
+        """Drive the whole ``trace`` through the cache and return stats."""
+        for address, size, kind, _ in zip(
+            trace.addresses, trace.sizes, trace.kinds, trace.icounts
+        ):
+            if kind == WRITE:
+                self.write(address, size)
+            else:
+                self.read(address, size)
+        self.stats.instructions += trace.instruction_count
+        return self.stats
+
+    def flush(self) -> CacheStats:
+        """Flush the cache at end of run (flush-stop accounting, Section 5).
+
+        Every valid line is examined; dirty ones are written back through
+        the same victim path, but into the ``flush_*`` counters so
+        cold-stop numbers stay separable.  The cache is empty afterwards
+        and further accesses raise.
+        """
+        stats = self.stats
+        for set_index, cache_set in enumerate(self._sets):
+            for line in cache_set.values():
+                stats.flushed_lines += 1
+                if line.dirty_mask:
+                    stats.flushed_dirty_lines += 1
+                    dirty_bytes = popcount(line.dirty_mask)
+                    stats.flushed_dirty_bytes += dirty_bytes
+                    stats.flush_writeback_bytes += (
+                        dirty_bytes
+                        if self.config.subblock_dirty_writeback
+                        else self.config.line_size
+                    )
+                    self.backend.write_back(
+                        self._line_base(line.tag, set_index),
+                        self.config.line_size,
+                        line.dirty_mask,
+                        bytes(line.data) if line.data is not None else None,
+                    )
+            cache_set.clear()
+        self._flushed = True
+        return stats
+
+    def allocate_line(self, address: int) -> None:
+        """Execute a cache-line-allocation instruction (Section 4).
+
+        Allocates the line containing ``address`` without fetching, as the
+        801/MultiTitan/PA-RISC instructions the paper cites do; the old
+        contents of the frame are replaced by an undefined-but-valid line
+        that the program has promised to overwrite entirely.  In a
+        write-back cache the whole line is marked dirty (its eventual
+        write-back must carry the program's stores); counted in
+        ``stats.line_allocations``, not as a demand fetch.
+        """
+        self._check_live()
+        config = self.config
+        set_index = config.set_index(address)
+        cache_set = self._sets[set_index]
+        tag = config.tag(address)
+        line = cache_set.get(tag)
+        if line is None:
+            self._evict_if_full(cache_set, set_index)
+            line = CacheLine(tag)
+            if config.store_data:
+                line.data = self._new_line_data()
+            cache_set[tag] = line
+        line.valid_mask = config.full_line_mask
+        if config.is_write_back:
+            line.dirty_mask = config.full_line_mask
+        self._touch(cache_set, tag)
+        self.stats.extra["line_allocations"] = (
+            self.stats.extra.get("line_allocations", 0) + 1
+        )
+
+    def preheat(self, dirty_fraction: float, seed: int = 1) -> int:
+        """Prime the cache with dirty lines (Section 5's Emer recipe).
+
+        "Another way to account for cold stop behavior is to start the
+        simulation with a statistically appropriate number of dirty
+        blocks in the cache [Emer] ...  the initially dirty lines must be
+        marked with non-matching but valid tags to generate write-back
+        traffic."  Each frame independently receives, with probability
+        ``dirty_fraction``, a fully-valid fully-dirty line under a
+        sentinel tag outside any workload's address range.  Returns the
+        number of lines primed.  Must be called before any accesses.
+        """
+        if not 0.0 <= dirty_fraction <= 1.0:
+            raise SimulationError("dirty_fraction must be within [0, 1]")
+        if any(self._sets) or self.stats.accesses:
+            raise SimulationError("preheat must run on a fresh cache")
+        rng = random.Random(seed)
+        config = self.config
+        # A tag no real address produces: above the modelled address space.
+        sentinel_tag = 1 << (48 - config.offset_bits - config.index_bits)
+        primed = 0
+        for cache_set in self._sets:
+            for way in range(config.associativity):
+                if rng.random() < dirty_fraction:
+                    line = CacheLine(
+                        sentinel_tag + way,
+                        valid_mask=config.full_line_mask,
+                        dirty_mask=config.full_line_mask,
+                    )
+                    if config.store_data:
+                        line.data = self._new_line_data()
+                    cache_set[sentinel_tag + way] = line
+                    primed += 1
+        return primed
+
+    # -- inspection (tests, examples) ------------------------------------------
+
+    def probe(self, address: int) -> Optional[CacheLine]:
+        """Return the resident line containing ``address`` without touching
+        LRU state or counters, or ``None``."""
+        cache_set = self._sets[self.config.set_index(address)]
+        return cache_set.get(self.config.tag(address))
+
+    def resident_lines(self) -> Iterator[Tuple[int, CacheLine]]:
+        """Yield ``(line_address, line)`` for every resident line."""
+        for set_index, cache_set in enumerate(self._sets):
+            for line in cache_set.values():
+                yield self._line_base(line.tag, set_index), line
+
+    def dirty_line_count(self) -> int:
+        """Number of resident lines holding dirty bytes."""
+        return sum(1 for _, line in self.resident_lines() if line.is_dirty)
+
+    # -- internals --------------------------------------------------------------
+
+    def _check_live(self) -> None:
+        if self._flushed:
+            raise SimulationError("cache has been flushed; create a new one")
+
+    def _segments(self, address: int, size: int):
+        """Split an access into (line_address, offset, length) per line."""
+        config = self.config
+        end = address + size
+        while address < end:
+            line_address = config.line_address(address)
+            segment_end = min(end, line_address + config.line_size)
+            yield line_address, address - line_address, segment_end - address
+            address = segment_end
+
+    def _line_base(self, tag: int, set_index: int) -> int:
+        """Reconstruct a line's base address from its tag and set index."""
+        config = self.config
+        return ((tag << config.index_bits) | set_index) << config.offset_bits
+
+    def _touch(self, cache_set: "OrderedDict[int, CacheLine]", tag: int) -> None:
+        """Refresh recency on a hit (a no-op for FIFO/random replacement)."""
+        if self.config.replacement == "lru":
+            cache_set.move_to_end(tag)
+
+    def _evict_if_full(self, cache_set: "OrderedDict[int, CacheLine]", set_index: int) -> None:
+        """Make room in ``cache_set``, writing back a dirty victim if needed."""
+        if len(cache_set) < self.config.associativity:
+            return
+        if self.config.replacement == "random":
+            victim_tag = self._rng.choice(list(cache_set))
+            victim = cache_set.pop(victim_tag)
+        else:  # lru and fifo both evict the front of the order
+            _, victim = cache_set.popitem(last=False)
+        stats = self.stats
+        config = self.config
+        stats.victims += 1
+        if self.victim_hook is not None:
+            self.victim_hook(
+                self._line_base(victim.tag, set_index), victim.valid_mask, victim.dirty_mask
+            )
+        if victim.dirty_mask:
+            stats.dirty_victims += 1
+            dirty_bytes = popcount(victim.dirty_mask)
+            stats.dirty_victim_dirty_bytes += dirty_bytes
+            stats.writebacks += 1
+            stats.writeback_dirty_bytes += dirty_bytes
+            stats.writeback_bytes += (
+                dirty_bytes if config.subblock_dirty_writeback else config.line_size
+            )
+            base = ((victim.tag << config.index_bits) | set_index) << config.offset_bits
+            self.backend.write_back(
+                base,
+                config.line_size,
+                victim.dirty_mask,
+                bytes(victim.data) if victim.data is not None else None,
+            )
+
+    def _fetch_line(self, line_address: int) -> Optional[bytes]:
+        """Fetch a whole line from the backend (transaction + bytes)."""
+        self.stats.fetches += 1
+        self.stats.fetch_bytes += self.config.line_size
+        return self.backend.fetch(line_address, self.config.line_size)
+
+    def _fetch_span(self, line_address: int, start: int, length: int) -> Optional[bytes]:
+        """Fetch ``length`` bytes at ``line_address + start`` (sectored mode)."""
+        self.stats.fetches += 1
+        self.stats.fetch_bytes += length
+        return self.backend.fetch(line_address + start, length)
+
+    def _demand_span(self, offset: int, length: int) -> Tuple[int, int]:
+        """Granule-aligned (start, length) covering a segment."""
+        granule = self.config.valid_granularity
+        start = align_down(offset, granule)
+        end = align_up(offset + length, granule)
+        return start, end - start
+
+    def _new_line_data(self) -> Optional[bytearray]:
+        if not self.config.store_data:
+            return None
+        return bytearray(self.config.line_size)
+
+    def _fill_invalid(
+        self, line: CacheLine, start: int, span: int, fetched: Optional[bytes]
+    ) -> None:
+        """Copy fetched bytes into the invalid positions of ``line``."""
+        if line.data is None or fetched is None:
+            return
+        for index in range(span):
+            byte = start + index
+            if not (line.valid_mask >> byte) & 1:
+                line.data[byte] = fetched[index]
+
+    def _read_segment(self, line_address: int, offset: int, length: int) -> Optional[bytes]:
+        config = self.config
+        stats = self.stats
+        stats.read_line_accesses += 1
+        set_index = config.set_index(line_address)
+        cache_set = self._sets[set_index]
+        tag = config.tag(line_address)
+        segment_mask = mask_bits(length) << offset
+        line = cache_set.get(tag)
+
+        if line is not None and line.covers(segment_mask):
+            stats.read_hits += 1
+            self._touch(cache_set, tag)
+        elif line is not None:
+            # Tag hit but some requested bytes invalid: write-validate
+            # residue or an unfetched sector.  Refill, preserving
+            # already-valid bytes (which are newer than memory in a
+            # write-back cache).
+            stats.read_partial_misses += 1
+            stats.fetches_for_partial_reads += 1
+            if config.subblock_fetch:
+                start, span = self._demand_span(offset, length)
+                fetched = self._fetch_span(line_address, start, span)
+                self._fill_invalid(line, start, span, fetched)
+                line.valid_mask |= mask_bits(span) << start
+            else:
+                fetched = self._fetch_line(line_address)
+                self._fill_invalid(line, 0, config.line_size, fetched)
+                line.valid_mask = config.full_line_mask
+            self._touch(cache_set, tag)
+        else:
+            stats.read_misses += 1
+            stats.fetches_for_reads += 1
+            self._evict_if_full(cache_set, set_index)
+            if config.subblock_fetch:
+                start, span = self._demand_span(offset, length)
+                fetched = self._fetch_span(line_address, start, span)
+                line = CacheLine(tag, valid_mask=mask_bits(span) << start)
+                if config.store_data:
+                    line.data = self._new_line_data()
+                    if fetched is not None:
+                        line.data[start : start + span] = fetched
+            else:
+                fetched = self._fetch_line(line_address)
+                line = CacheLine(tag, valid_mask=config.full_line_mask)
+                if config.store_data:
+                    line.data = (
+                        bytearray(fetched) if fetched is not None else self._new_line_data()
+                    )
+            cache_set[tag] = line
+
+        if line.data is not None:
+            return bytes(line.data[offset : offset + length])
+        return None
+
+    def _write_segment(
+        self, line_address: int, offset: int, length: int, data: Optional[bytes]
+    ) -> None:
+        config = self.config
+        stats = self.stats
+        stats.write_line_accesses += 1
+        set_index = config.set_index(line_address)
+        cache_set = self._sets[set_index]
+        tag = config.tag(line_address)
+        segment_mask = mask_bits(length) << offset
+        line = cache_set.get(tag)
+
+        if line is not None:
+            stats.write_hits += 1
+            self._apply_write_hit(line, line_address, offset, length, segment_mask, data)
+            self._touch(cache_set, tag)
+            return
+
+        stats.write_misses += 1
+        policy = config.write_miss
+
+        if policy is WriteMissPolicy.WRITE_VALIDATE and not self._covers_granules(
+            offset, length
+        ):
+            # Sub-granule write: pure write-validate cannot represent it
+            # (the paper notes such machines "would probably provide
+            # fetch-on-write for byte writes").
+            policy = WriteMissPolicy.FETCH_ON_WRITE
+
+        if policy is WriteMissPolicy.FETCH_ON_WRITE:
+            self._evict_if_full(cache_set, set_index)
+            stats.fetches_for_writes += 1
+            if config.subblock_fetch:
+                # Sectored cache: fetch only the sector being written.
+                start, span = self._demand_span(offset, length)
+                fetched = self._fetch_span(line_address, start, span)
+                line = CacheLine(tag, valid_mask=mask_bits(span) << start)
+                if config.store_data:
+                    line.data = self._new_line_data()
+                    if fetched is not None:
+                        line.data[start : start + span] = fetched
+            else:
+                fetched = self._fetch_line(line_address)
+                line = CacheLine(tag, valid_mask=config.full_line_mask)
+                if config.store_data:
+                    line.data = (
+                        bytearray(fetched) if fetched is not None else self._new_line_data()
+                    )
+            cache_set[tag] = line
+            self._apply_write_hit(line, line_address, offset, length, segment_mask, data)
+        elif policy is WriteMissPolicy.WRITE_VALIDATE:
+            self._evict_if_full(cache_set, set_index)
+            stats.validate_allocations += 1
+            line = CacheLine(tag, valid_mask=segment_mask)
+            if config.store_data:
+                line.data = self._new_line_data()
+            cache_set[tag] = line
+            self._apply_write_hit(line, line_address, offset, length, segment_mask, data)
+        elif policy is WriteMissPolicy.WRITE_AROUND:
+            self._send_write_through(line_address + offset, length, data)
+        elif policy is WriteMissPolicy.WRITE_INVALIDATE:
+            # The concurrent data write corrupted whatever line occupied
+            # this (direct-mapped) frame; kill it and pass the store down.
+            if cache_set:
+                cache_set.popitem(last=False)
+                stats.invalidations += 1
+            self._send_write_through(line_address + offset, length, data)
+        else:  # pragma: no cover - enum is exhaustive
+            raise SimulationError(f"unhandled write-miss policy {policy}")
+
+    def _apply_write_hit(
+        self,
+        line: CacheLine,
+        line_address: int,
+        offset: int,
+        length: int,
+        segment_mask: int,
+        data: Optional[bytes],
+    ) -> None:
+        """Common tail of every write that lands in a resident line.
+
+        A freshly fetched or freshly validated line has an empty dirty
+        mask, so only genuine re-writes bump ``writes_to_dirty_lines``.
+        """
+        config = self.config
+        if config.is_write_back:
+            if line.dirty_mask:
+                self.stats.writes_to_dirty_lines += 1
+            line.dirty_mask |= segment_mask
+        line.valid_mask |= segment_mask
+        if line.data is not None and data is not None:
+            line.data[offset : offset + length] = data
+        if config.is_write_through:
+            self._send_write_through(line_address + offset, length, data)
+
+    def _send_write_through(self, address: int, length: int, data: Optional[bytes]) -> None:
+        self.stats.write_throughs += 1
+        self.stats.write_through_bytes += length
+        self.backend.write_through(address, length, data)
+
+    def _covers_granules(self, offset: int, length: int) -> bool:
+        granule = self.config.valid_granularity
+        return offset % granule == 0 and length % granule == 0

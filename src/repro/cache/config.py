@@ -1,0 +1,178 @@
+"""Cache geometry and policy configuration.
+
+A :class:`CacheConfig` fully determines a simulated cache: geometry
+(capacity, line size, associativity), the write-hit and write-miss
+policies, and the sub-block granularities.  All validation happens here,
+at construction, so the simulators can assume a self-consistent
+configuration.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.common.bitops import log2_int, mask_bits
+from repro.common.errors import ConfigurationError
+from repro.common.units import format_size, parse_size
+from repro.cache.policies import (
+    WriteHitPolicy,
+    WriteMissPolicy,
+    validate_combination,
+)
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Immutable description of one cache.
+
+    Attributes:
+        size: total capacity in bytes (or a string like ``"8KB"``).
+        line_size: cache line size in bytes (the paper sweeps 4-64 B).
+        associativity: ways per set; 1 = direct-mapped (the paper's
+            organisation throughout).
+        write_hit: write-through or write-back (Section 3).
+        write_miss: one of the four useful policies (Section 4).
+        valid_granularity: sub-block valid-bit granularity in bytes for
+            write-validate (the paper discusses word=4 vs byte=1; since the
+            modelled ISA has no byte stores, word granularity loses
+            nothing).
+        subblock_dirty_writeback: when True, write-backs transfer only the
+            dirty sub-blocks (Section 5.2's proposal); when False a dirty
+            victim writes back the full line.
+        subblock_fetch: when True, a demand miss fetches only the
+            requested ``valid_granularity`` sub-block instead of the whole
+            line (a sectored cache — the read-side dual of Section 5.2's
+            partial write-backs); later touches to other sub-blocks refill
+            incrementally.
+        replacement: victim selection within a set — ``"lru"`` (the
+            paper's policy), ``"fifo"`` or ``"random"`` (deterministic,
+            seeded per cache).  Irrelevant for direct-mapped caches.
+        store_data: carry actual data bytes (slower; used by the
+            data-fidelity property tests).
+    """
+
+    size: int = 8 * 1024
+    line_size: int = 16
+    associativity: int = 1
+    write_hit: WriteHitPolicy = WriteHitPolicy.WRITE_BACK
+    write_miss: WriteMissPolicy = WriteMissPolicy.FETCH_ON_WRITE
+    valid_granularity: int = 4
+    subblock_dirty_writeback: bool = False
+    subblock_fetch: bool = False
+    replacement: str = "lru"
+    store_data: bool = False
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "size", parse_size(self.size))
+        object.__setattr__(self, "line_size", parse_size(self.line_size))
+
+        log2_int(self.size)
+        log2_int(self.line_size)
+        if self.line_size < 4:
+            raise ConfigurationError("line_size must be at least one word (4 B)")
+        if self.line_size > self.size:
+            raise ConfigurationError("line_size cannot exceed cache size")
+        if self.associativity < 1:
+            raise ConfigurationError("associativity must be >= 1")
+        lines = self.size // self.line_size
+        if lines % self.associativity != 0:
+            raise ConfigurationError(
+                f"{lines} lines cannot be divided into sets of "
+                f"{self.associativity} ways"
+            )
+        log2_int(lines // self.associativity)
+        if self.valid_granularity < 1 or self.line_size % self.valid_granularity:
+            raise ConfigurationError(
+                "valid_granularity must divide the line size"
+            )
+
+        if self.replacement not in ("lru", "fifo", "random"):
+            raise ConfigurationError(
+                f"unknown replacement policy {self.replacement!r}; "
+                "expected 'lru', 'fifo' or 'random'"
+            )
+
+        validate_combination(self.write_hit, self.write_miss)
+        if (
+            self.write_miss is WriteMissPolicy.WRITE_INVALIDATE
+            and self.associativity != 1
+        ):
+            raise ConfigurationError(
+                "write-invalidate is only meaningful for direct-mapped "
+                "caches: it models writing the data array concurrently with "
+                "the tag probe, which set-associative caches cannot do "
+                "(Section 3, fifth dimension of comparison)"
+            )
+        if not self.name:
+            object.__setattr__(self, "name", self.describe())
+
+    # -- derived geometry ---------------------------------------------------
+
+    @property
+    def num_lines(self) -> int:
+        """Total cache lines."""
+        return self.size // self.line_size
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets (lines / associativity)."""
+        return self.num_lines // self.associativity
+
+    @property
+    def offset_bits(self) -> int:
+        """Bits of the byte offset within a line."""
+        return log2_int(self.line_size)
+
+    @property
+    def index_bits(self) -> int:
+        """Bits of the set index."""
+        return log2_int(self.num_sets)
+
+    @property
+    def offset_mask(self) -> int:
+        """Mask extracting the byte offset within a line."""
+        return mask_bits(self.offset_bits)
+
+    @property
+    def index_mask(self) -> int:
+        """Mask extracting the set index (after shifting out the offset)."""
+        return mask_bits(self.index_bits)
+
+    @property
+    def full_line_mask(self) -> int:
+        """Byte mask with every byte of a line set."""
+        return mask_bits(self.line_size)
+
+    @property
+    def is_direct_mapped(self) -> bool:
+        """True for one-way (direct-mapped) caches."""
+        return self.associativity == 1
+
+    @property
+    def is_write_back(self) -> bool:
+        """True when the write-hit policy is write-back."""
+        return self.write_hit is WriteHitPolicy.WRITE_BACK
+
+    @property
+    def is_write_through(self) -> bool:
+        """True when the write-hit policy is write-through."""
+        return self.write_hit is WriteHitPolicy.WRITE_THROUGH
+
+    def line_address(self, address: int) -> int:
+        """The line-aligned base address containing ``address``."""
+        return address & ~self.offset_mask
+
+    def set_index(self, address: int) -> int:
+        """The set index for ``address``."""
+        return (address >> self.offset_bits) & self.index_mask
+
+    def tag(self, address: int) -> int:
+        """The tag for ``address`` (the line address; simple and unique)."""
+        return address >> (self.offset_bits + self.index_bits)
+
+    def describe(self) -> str:
+        """Short human-readable description used in reports."""
+        assoc = "DM" if self.is_direct_mapped else f"{self.associativity}way"
+        return (
+            f"{format_size(self.size)}/{format_size(self.line_size)}/{assoc}/"
+            f"{self.write_hit.value}/{self.write_miss.value}"
+        )

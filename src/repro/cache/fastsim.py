@@ -1,0 +1,228 @@
+"""Optimised direct-mapped, stats-only simulation.
+
+Every cache in the paper's measurement sections is direct-mapped, and the
+figure sweeps run six traces through dozens of configurations, so this
+module provides a tight single-function simulator for that case: flat
+Python lists for tag/valid/dirty state, all counters in locals, no object
+allocation per reference.  Results are bit-identical to the reference
+:class:`repro.cache.cache.Cache` (a property the test suite enforces);
+non-direct-mapped configurations transparently fall back to the reference
+simulator.
+"""
+
+from repro.cache.cache import Cache
+from repro.cache.config import CacheConfig
+from repro.cache.policies import WriteMissPolicy
+from repro.cache.stats import CacheStats
+from repro.trace.trace import Trace
+
+
+def simulate_trace(trace: Trace, config: CacheConfig, flush: bool = True) -> CacheStats:
+    """Run ``trace`` through a cache described by ``config``.
+
+    ``flush`` controls whether flush-stop statistics are collected at the
+    end of the run (the cache state is discarded either way).
+    """
+    if not config.is_direct_mapped or config.store_data or config.subblock_fetch:
+        cache = Cache(config)
+        stats = cache.run(trace)
+        if flush:
+            cache.flush()
+        return stats
+    return _simulate_direct_mapped(trace, config, flush)
+
+
+def _simulate_direct_mapped(trace: Trace, config: CacheConfig, flush: bool) -> CacheStats:
+    line_size = config.line_size
+    offset_bits = config.offset_bits
+    index_bits = config.index_bits
+    index_mask = config.index_mask
+    tag_shift = offset_bits + index_bits
+    offset_mask = config.offset_mask
+    full_mask = config.full_line_mask
+    num_sets = config.num_sets
+
+    write_back = config.is_write_back
+    subblock_wb = config.subblock_dirty_writeback
+    miss_policy = config.write_miss
+    fetch_on_write = miss_policy is WriteMissPolicy.FETCH_ON_WRITE
+    write_validate = miss_policy is WriteMissPolicy.WRITE_VALIDATE
+    write_around = miss_policy is WriteMissPolicy.WRITE_AROUND
+    write_invalidate = miss_policy is WriteMissPolicy.WRITE_INVALIDATE
+    granule = config.valid_granularity
+
+    tags = [-1] * num_sets
+    valid = [0] * num_sets
+    dirty = [0] * num_sets
+
+    # Local counters (bound once; this is the hot loop).
+    reads = writes = 0
+    read_accesses = write_accesses = 0
+    read_hits = read_misses = read_partial = 0
+    write_hits = write_misses = writes_to_dirty = 0
+    fetches_reads = fetches_partial = fetches_writes = 0
+    writebacks = writeback_bytes = writeback_dirty_bytes = 0
+    write_throughs = write_through_bytes = 0
+    victims = dirty_victims = dirty_victim_dirty_bytes = 0
+    validate_allocations = invalidations = 0
+
+    for address, size, kind in zip(trace.addresses, trace.sizes, trace.kinds):
+        if kind:
+            writes += 1
+        else:
+            reads += 1
+        # References are size-aligned, so a segment crosses a line only
+        # when the reference is wider than the line (8 B data, 4 B lines).
+        if size > line_size:
+            segments = range(address, address + size, line_size)
+            segment_size = line_size
+        else:
+            segments = (address,)
+            segment_size = size
+
+        for segment_address in segments:
+            offset = segment_address & offset_mask
+            segment_mask = ((1 << segment_size) - 1) << offset
+            set_index = (segment_address >> offset_bits) & index_mask
+            tag = segment_address >> tag_shift
+            resident_tag = tags[set_index]
+
+            if kind == 0:  # ---- load ------------------------------------
+                read_accesses += 1
+                if resident_tag == tag:
+                    if valid[set_index] & segment_mask == segment_mask:
+                        read_hits += 1
+                    else:
+                        read_partial += 1
+                        fetches_partial += 1
+                        valid[set_index] = full_mask
+                    continue
+                read_misses += 1
+                fetches_reads += 1
+                if resident_tag != -1:
+                    victims += 1
+                    dirty_mask = dirty[set_index]
+                    if dirty_mask:
+                        dirty_victims += 1
+                        dirty_byte_count = bin(dirty_mask).count("1")
+                        dirty_victim_dirty_bytes += dirty_byte_count
+                        writebacks += 1
+                        writeback_dirty_bytes += dirty_byte_count
+                        writeback_bytes += dirty_byte_count if subblock_wb else line_size
+                tags[set_index] = tag
+                valid[set_index] = full_mask
+                dirty[set_index] = 0
+                continue
+
+            # ---- store ------------------------------------------------
+            write_accesses += 1
+            if resident_tag == tag:
+                write_hits += 1
+                if write_back:
+                    if dirty[set_index]:
+                        writes_to_dirty += 1
+                    dirty[set_index] |= segment_mask
+                else:
+                    write_throughs += 1
+                    write_through_bytes += segment_size
+                valid[set_index] |= segment_mask
+                continue
+
+            write_misses += 1
+            use_validate = write_validate and (
+                offset % granule == 0 and segment_size % granule == 0
+            )
+            if fetch_on_write or (write_validate and not use_validate):
+                fetches_writes += 1
+                if resident_tag != -1:
+                    victims += 1
+                    dirty_mask = dirty[set_index]
+                    if dirty_mask:
+                        dirty_victims += 1
+                        dirty_byte_count = bin(dirty_mask).count("1")
+                        dirty_victim_dirty_bytes += dirty_byte_count
+                        writebacks += 1
+                        writeback_dirty_bytes += dirty_byte_count
+                        writeback_bytes += dirty_byte_count if subblock_wb else line_size
+                tags[set_index] = tag
+                valid[set_index] = full_mask
+                if write_back:
+                    dirty[set_index] = segment_mask
+                else:
+                    dirty[set_index] = 0
+                    write_throughs += 1
+                    write_through_bytes += segment_size
+            elif use_validate:
+                validate_allocations += 1
+                if resident_tag != -1:
+                    victims += 1
+                    dirty_mask = dirty[set_index]
+                    if dirty_mask:
+                        dirty_victims += 1
+                        dirty_byte_count = bin(dirty_mask).count("1")
+                        dirty_victim_dirty_bytes += dirty_byte_count
+                        writebacks += 1
+                        writeback_dirty_bytes += dirty_byte_count
+                        writeback_bytes += dirty_byte_count if subblock_wb else line_size
+                tags[set_index] = tag
+                valid[set_index] = segment_mask
+                if write_back:
+                    dirty[set_index] = segment_mask
+                else:
+                    dirty[set_index] = 0
+                    write_throughs += 1
+                    write_through_bytes += segment_size
+            elif write_around:
+                write_throughs += 1
+                write_through_bytes += segment_size
+            else:  # write-invalidate
+                if resident_tag != -1:
+                    tags[set_index] = -1
+                    valid[set_index] = 0
+                    dirty[set_index] = 0
+                    invalidations += 1
+                write_throughs += 1
+                write_through_bytes += segment_size
+
+    stats = CacheStats(line_size=line_size)
+    stats.reads = reads
+    stats.writes = writes
+    stats.read_line_accesses = read_accesses
+    stats.write_line_accesses = write_accesses
+    stats.read_hits = read_hits
+    stats.read_misses = read_misses
+    stats.read_partial_misses = read_partial
+    stats.write_hits = write_hits
+    stats.write_misses = write_misses
+    stats.writes_to_dirty_lines = writes_to_dirty
+    stats.fetches = fetches_reads + fetches_partial + fetches_writes
+    stats.fetch_bytes = stats.fetches * line_size
+    stats.fetches_for_reads = fetches_reads
+    stats.fetches_for_partial_reads = fetches_partial
+    stats.fetches_for_writes = fetches_writes
+    stats.writebacks = writebacks
+    stats.writeback_bytes = writeback_bytes
+    stats.writeback_dirty_bytes = writeback_dirty_bytes
+    stats.write_throughs = write_throughs
+    stats.write_through_bytes = write_through_bytes
+    stats.victims = victims
+    stats.dirty_victims = dirty_victims
+    stats.dirty_victim_dirty_bytes = dirty_victim_dirty_bytes
+    stats.validate_allocations = validate_allocations
+    stats.invalidations = invalidations
+    stats.instructions = trace.instruction_count
+
+    if flush:
+        for set_index in range(num_sets):
+            if tags[set_index] == -1:
+                continue
+            stats.flushed_lines += 1
+            dirty_mask = dirty[set_index]
+            if dirty_mask:
+                stats.flushed_dirty_lines += 1
+                dirty_byte_count = bin(dirty_mask).count("1")
+                stats.flushed_dirty_bytes += dirty_byte_count
+                stats.flush_writeback_bytes += (
+                    dirty_byte_count if subblock_wb else line_size
+                )
+    return stats

@@ -1,0 +1,43 @@
+"""Per-line cache state.
+
+A line carries per-byte valid and dirty masks (Python int bitmasks, bit i
+= byte i of the line).  Sub-block valid bits are what make write-validate
+expressible (Section 4); sub-block dirty bits are what make Section 5's
+bytes-dirty-per-victim statistics and Section 5.2's partial write-backs
+expressible.  Optionally the line carries real data for fidelity testing.
+"""
+
+from typing import Optional
+
+
+class CacheLine:
+    """Mutable state of one resident cache line."""
+
+    __slots__ = ("tag", "valid_mask", "dirty_mask", "data")
+
+    def __init__(
+        self,
+        tag: int,
+        valid_mask: int = 0,
+        dirty_mask: int = 0,
+        data: Optional[bytearray] = None,
+    ) -> None:
+        self.tag = tag
+        self.valid_mask = valid_mask
+        self.dirty_mask = dirty_mask
+        self.data = data
+
+    @property
+    def is_dirty(self) -> bool:
+        """Whether any byte of the line is dirty."""
+        return self.dirty_mask != 0
+
+    def covers(self, mask: int) -> bool:
+        """Whether every byte in ``mask`` is valid."""
+        return (self.valid_mask & mask) == mask
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheLine(tag={self.tag:#x}, valid={self.valid_mask:#x}, "
+            f"dirty={self.dirty_mask:#x})"
+        )

@@ -1,0 +1,94 @@
+"""Write-policy taxonomy (Sections 3 and 4, Fig. 12).
+
+The paper decomposes write-miss behaviour into three semi-dependent binary
+choices — fetch-on-write, write-allocate and write-invalidate — and shows
+only four of the eight combinations are useful.  :class:`WriteMissPolicy`
+enumerates the four useful points; :func:`expand_flags` maps each back to
+its position in the cube, and :func:`classify_flags` does the inverse
+(raising for the not-useful combinations, with the paper's reason).
+"""
+
+import enum
+from typing import Tuple
+
+from repro.common.errors import ConfigurationError
+
+
+class WriteHitPolicy(enum.Enum):
+    """What happens when a write hits in the cache (Section 3)."""
+
+    WRITE_THROUGH = "write-through"
+    WRITE_BACK = "write-back"
+
+
+class WriteMissPolicy(enum.Enum):
+    """The four useful write-miss policies (Section 4, Fig. 12)."""
+
+    FETCH_ON_WRITE = "fetch-on-write"
+    WRITE_VALIDATE = "write-validate"
+    WRITE_AROUND = "write-around"
+    WRITE_INVALIDATE = "write-invalidate"
+
+
+# Convenience module-level aliases (the library's most-typed names).
+WRITE_THROUGH = WriteHitPolicy.WRITE_THROUGH
+WRITE_BACK = WriteHitPolicy.WRITE_BACK
+FETCH_ON_WRITE = WriteMissPolicy.FETCH_ON_WRITE
+WRITE_VALIDATE = WriteMissPolicy.WRITE_VALIDATE
+WRITE_AROUND = WriteMissPolicy.WRITE_AROUND
+WRITE_INVALIDATE = WriteMissPolicy.WRITE_INVALIDATE
+
+
+def expand_flags(policy: WriteMissPolicy) -> Tuple[bool, bool, bool]:
+    """Map a policy to its (fetch_on_write, write_allocate, write_invalidate)
+    position in Fig. 12's cube."""
+    return {
+        WriteMissPolicy.FETCH_ON_WRITE: (True, True, False),
+        WriteMissPolicy.WRITE_VALIDATE: (False, True, False),
+        WriteMissPolicy.WRITE_AROUND: (False, False, False),
+        WriteMissPolicy.WRITE_INVALIDATE: (False, False, True),
+    }[policy]
+
+
+def classify_flags(
+    fetch_on_write: bool, write_allocate: bool, write_invalidate: bool
+) -> WriteMissPolicy:
+    """Map a (fetch, allocate, invalidate) triple to its named policy.
+
+    Raises :class:`ConfigurationError` for the four combinations the paper
+    rules out, quoting its reasoning.
+    """
+    if fetch_on_write and not write_allocate:
+        raise ConfigurationError(
+            "fetch-on-write with no-write-allocate is not useful: the old "
+            "data at the write miss address is fetched but discarded "
+            "instead of being written into the cache"
+        )
+    if write_allocate and write_invalidate:
+        raise ConfigurationError(
+            "write-allocate with write-invalidate is not useful: the line "
+            "is allocated but marked invalid"
+        )
+    if fetch_on_write:
+        return WriteMissPolicy.FETCH_ON_WRITE
+    if write_allocate:
+        return WriteMissPolicy.WRITE_VALIDATE
+    if write_invalidate:
+        return WriteMissPolicy.WRITE_INVALIDATE
+    return WriteMissPolicy.WRITE_AROUND
+
+
+def validate_combination(hit: WriteHitPolicy, miss: WriteMissPolicy) -> None:
+    """Reject hit/miss policy pairings the paper identifies as unusable.
+
+    "Write-around and write-invalidate (i.e., policies with
+    no-write-allocate) are only useful with write-through caches, since
+    writes are not entered into the cache."
+    """
+    no_allocate = miss in (WriteMissPolicy.WRITE_AROUND, WriteMissPolicy.WRITE_INVALIDATE)
+    if no_allocate and hit is WriteHitPolicy.WRITE_BACK:
+        raise ConfigurationError(
+            f"{miss.value} requires a write-through cache: with "
+            "no-write-allocate, write data never enters the cache, so a "
+            "write-back hit policy could silently lose stores"
+        )

@@ -1,0 +1,176 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+- ``simulate`` — run a benchmark model or a trace file through one cache
+  configuration and print the full statistics block.
+- ``figures`` — render reproduced tables/figures (same as
+  ``python -m repro.core.figures``).
+- ``claims`` — print the Section 3.3/6 headline claims, paper vs measured.
+- ``table1`` — print the corpus characteristics table.
+"""
+
+import argparse
+import sys
+from dataclasses import fields
+
+from repro.cache.config import CacheConfig
+from repro.cache.fastsim import simulate_trace
+from repro.cache.policies import WriteHitPolicy, WriteMissPolicy
+from repro.common.render import format_table
+from repro.trace.corpus import BENCHMARK_NAMES, load
+from repro.trace.io import read_din_trace, read_trace
+
+_HIT_POLICIES = {policy.value: policy for policy in WriteHitPolicy}
+_MISS_POLICIES = {policy.value: policy for policy in WriteMissPolicy}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Cache write-policy simulator (Jouppi 1991/1993 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    simulate = subparsers.add_parser("simulate", help="simulate one configuration")
+    source = simulate.add_mutually_exclusive_group()
+    source.add_argument(
+        "--benchmark", choices=BENCHMARK_NAMES, default="ccom",
+        help="synthetic benchmark model to drive the cache with",
+    )
+    source.add_argument("--trace", help="trace file (repro text format; .gz ok)")
+    source.add_argument("--din", help="trace file in Dinero 'din' format")
+    simulate.add_argument("--scale", type=float, default=1.0)
+    simulate.add_argument("--size", default="8KB", help="cache capacity (e.g. 8KB)")
+    simulate.add_argument("--line", default="16", help="line size in bytes")
+    simulate.add_argument("--assoc", type=int, default=1, help="associativity")
+    simulate.add_argument(
+        "--write-hit", choices=sorted(_HIT_POLICIES), default="write-back"
+    )
+    simulate.add_argument(
+        "--write-miss", choices=sorted(_MISS_POLICIES), default="fetch-on-write"
+    )
+    simulate.add_argument(
+        "--replacement", choices=("lru", "fifo", "random"), default="lru"
+    )
+    simulate.add_argument("--subblock-fetch", action="store_true")
+    simulate.add_argument("--subblock-writeback", action="store_true")
+    simulate.add_argument(
+        "--no-flush", action="store_true", help="skip flush-stop accounting"
+    )
+
+    figures = subparsers.add_parser("figures", help="render reproduced figures")
+    figures.add_argument("ids", nargs="+", help="figure ids or 'all'")
+    figures.add_argument("--scale", type=float, default=1.0)
+
+    claims = subparsers.add_parser("claims", help="headline claims, paper vs measured")
+    claims.add_argument("--scale", type=float, default=1.0)
+
+    table = subparsers.add_parser("table1", help="corpus characteristics")
+    table.add_argument("--scale", type=float, default=1.0)
+
+    report = subparsers.add_parser(
+        "report", help="write every reproduced artefact to a directory"
+    )
+    report.add_argument("--out", default="report", help="output directory")
+    report.add_argument("--scale", type=float, default=1.0)
+    report.add_argument(
+        "--figures", nargs="*", default=None, help="subset of figure ids"
+    )
+    report.add_argument("--no-csv", action="store_true")
+    return parser
+
+
+def _load_trace(args):
+    if args.trace:
+        return read_trace(args.trace)
+    if args.din:
+        return read_din_trace(args.din)
+    return load(args.benchmark, scale=args.scale)
+
+
+def _command_simulate(args) -> int:
+    trace = _load_trace(args)
+    config = CacheConfig(
+        size=args.size,
+        line_size=args.line,
+        associativity=args.assoc,
+        write_hit=_HIT_POLICIES[args.write_hit],
+        write_miss=_MISS_POLICIES[args.write_miss],
+        replacement=args.replacement,
+        subblock_fetch=args.subblock_fetch,
+        subblock_dirty_writeback=args.subblock_writeback,
+    )
+    stats = simulate_trace(trace, config, flush=not args.no_flush)
+
+    print(f"trace:  {trace}")
+    print(f"config: {config.name}")
+    print()
+    rows = [
+        [spec.name, getattr(stats, spec.name)]
+        for spec in fields(stats)
+        if spec.name != "extra" and getattr(stats, spec.name)
+    ]
+    print(format_table(["counter", "value"], rows, title="raw counters"))
+    print()
+    derived = [
+        ["miss ratio", f"{stats.miss_ratio:.4f}"],
+        ["read miss ratio", f"{stats.read_miss_ratio:.4f}"],
+        ["write miss ratio", f"{stats.write_miss_ratio:.4f}"],
+        ["writes to already-dirty lines", f"{stats.fraction_writes_to_dirty:.2%}"],
+        ["write misses / all misses", f"{stats.write_miss_fraction:.2%}"],
+        ["victims dirty (cold stop)", f"{stats.fraction_victims_dirty:.2%}"],
+        ["victims dirty (flush stop)", f"{stats.fraction_victims_dirty_flush:.2%}"],
+        ["transactions / instruction", f"{stats.transactions_per_instruction():.4f}"],
+    ]
+    print(format_table(["metric", "value"], derived, title="derived metrics"))
+    return 0
+
+
+def _command_figures(args) -> int:
+    from repro.core.figures.__main__ import main as figures_main
+
+    argv = list(args.ids) + ["--scale", str(args.scale)]
+    return figures_main(argv)
+
+
+def _command_claims(args) -> int:
+    from repro.core.headline import headline_claims, render_claims
+
+    print(render_claims(headline_claims(scale=args.scale)))
+    return 0
+
+
+def _command_table1(args) -> int:
+    from repro.core.figures.tables_fig import table1
+
+    print(table1(scale=args.scale))
+    return 0
+
+
+def _command_report(args) -> int:
+    from repro.core.report import generate_report
+
+    index = generate_report(
+        args.out, figure_ids=args.figures, scale=args.scale, csv=not args.no_csv
+    )
+    print(f"report written: {index}")
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _command_simulate,
+    "figures": _command_figures,
+    "claims": _command_claims,
+    "table1": _command_table1,
+    "report": _command_report,
+}
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

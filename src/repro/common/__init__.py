@@ -1,0 +1,45 @@
+"""Shared low-level utilities used by every other ``repro`` package.
+
+Nothing in this package knows about caches or traces; it provides the
+building blocks (bit manipulation, LRU bookkeeping, counters, formatting)
+that the simulators are assembled from.
+"""
+
+from repro.common.bitops import (
+    align_down,
+    align_up,
+    byte_mask,
+    bytes_set,
+    is_aligned,
+    is_power_of_two,
+    log2_int,
+    mask_bits,
+    popcount,
+)
+from repro.common.errors import (
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+    TraceFormatError,
+)
+from repro.common.lru import LruTracker
+from repro.common.units import format_size, parse_size
+
+__all__ = [
+    "align_down",
+    "align_up",
+    "byte_mask",
+    "bytes_set",
+    "is_aligned",
+    "is_power_of_two",
+    "log2_int",
+    "mask_bits",
+    "popcount",
+    "ConfigurationError",
+    "ReproError",
+    "SimulationError",
+    "TraceFormatError",
+    "LruTracker",
+    "format_size",
+    "parse_size",
+]

@@ -1,0 +1,72 @@
+"""Bit-manipulation helpers for address arithmetic and byte masks.
+
+Cache simulators do an enormous amount of power-of-two arithmetic; these
+helpers centralise it and validate inputs once, at configuration time, so
+the hot simulation loops can use plain shifts and masks.
+
+Byte masks represent per-byte valid/dirty state of a cache line as a Python
+``int`` with bit *i* standing for byte *i* of the line.  Python ints make
+this both compact and arbitrarily wide (lines up to any size).
+"""
+
+from repro.common.errors import ConfigurationError
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return ``True`` when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_int(value: int) -> int:
+    """Return ``log2(value)`` for an exact power of two.
+
+    Raises :class:`ConfigurationError` for anything else; this is used to
+    validate cache geometry parameters.
+    """
+    if not is_power_of_two(value):
+        raise ConfigurationError(f"{value!r} is not a positive power of two")
+    return value.bit_length() - 1
+
+
+def align_down(address: int, alignment: int) -> int:
+    """Round ``address`` down to a multiple of ``alignment`` (a power of two)."""
+    return address & ~(alignment - 1)
+
+
+def align_up(address: int, alignment: int) -> int:
+    """Round ``address`` up to a multiple of ``alignment`` (a power of two)."""
+    return (address + alignment - 1) & ~(alignment - 1)
+
+
+def is_aligned(address: int, alignment: int) -> bool:
+    """Return ``True`` when ``address`` is a multiple of ``alignment``."""
+    return (address & (alignment - 1)) == 0
+
+
+def mask_bits(count: int) -> int:
+    """Return an integer with the low ``count`` bits set."""
+    return (1 << count) - 1
+
+
+def byte_mask(offset: int, size: int) -> int:
+    """Return a byte mask covering ``size`` bytes starting at ``offset``.
+
+    >>> bin(byte_mask(2, 4))
+    '0b111100'
+    """
+    return mask_bits(size) << offset
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits in ``mask`` (i.e. number of bytes covered)."""
+    return bin(mask).count("1")
+
+
+def bytes_set(mask: int):
+    """Yield the byte offsets whose bits are set in ``mask``, ascending."""
+    offset = 0
+    while mask:
+        if mask & 1:
+            yield offset
+        mask >>= 1
+        offset += 1

@@ -1,0 +1,26 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate unchanged.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration was supplied (bad sizes, policy combos...).
+
+    Raised eagerly at construction time so misconfigurations fail fast
+    rather than corrupting a long simulation.
+    """
+
+
+class SimulationError(ReproError):
+    """An invalid operation was attempted against a running simulator."""
+
+
+class TraceFormatError(ReproError):
+    """A trace file could not be parsed."""

@@ -1,0 +1,68 @@
+"""Least-recently-used ordering, shared by the cache sets and write cache.
+
+The tracker is a thin wrapper over ``collections.OrderedDict`` keyed by an
+opaque item (a way index, a line tag, ...).  Most-recent items live at the
+*end* of the order; the LRU victim is the *front*.
+"""
+
+from collections import OrderedDict
+from typing import Hashable, Iterator, List, Optional
+
+
+class LruTracker:
+    """Track recency of a set of hashable items.
+
+    ``touch`` inserts or refreshes an item; ``victim`` reports (without
+    removing) the least-recently-used item; ``evict`` removes and returns it.
+    """
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._order
+
+    def __iter__(self) -> Iterator[Hashable]:
+        """Iterate items from least- to most-recently used."""
+        return iter(self._order)
+
+    def touch(self, item: Hashable) -> None:
+        """Mark ``item`` as most-recently used, inserting it if absent."""
+        if item in self._order:
+            self._order.move_to_end(item)
+        else:
+            self._order[item] = None
+
+    def discard(self, item: Hashable) -> bool:
+        """Remove ``item`` if present; return whether it was present."""
+        if item in self._order:
+            del self._order[item]
+            return True
+        return False
+
+    def victim(self) -> Optional[Hashable]:
+        """Return the LRU item, or ``None`` when empty."""
+        return next(iter(self._order), None)
+
+    def evict(self) -> Hashable:
+        """Remove and return the LRU item.
+
+        Raises ``KeyError`` when empty, mirroring ``dict.popitem``.
+        """
+        item, _ = self._order.popitem(last=False)
+        return item
+
+    def most_recent(self) -> Optional[Hashable]:
+        """Return the MRU item, or ``None`` when empty."""
+        return next(reversed(self._order), None)
+
+    def as_list(self) -> List[Hashable]:
+        """Snapshot of items ordered LRU-first (for tests and debugging)."""
+        return list(self._order)
+
+    def clear(self) -> None:
+        """Forget all items."""
+        self._order.clear()

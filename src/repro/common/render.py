@@ -1,0 +1,117 @@
+"""Plain-text rendering of the paper's tables and figures.
+
+Every figure driver in :mod:`repro.core.figures` produces a
+series-per-workload result; these helpers turn such results into aligned
+text tables and simple ASCII line charts so the benchmark harness can print
+"the same rows/series the paper reports" without any plotting dependency.
+"""
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def _line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(_line([str(header) for header in headers]))
+    lines.append(_line(["-" * width for width in widths]))
+    for row in rendered_rows:
+        lines.append(_line(row))
+    return "\n".join(lines)
+
+
+def format_series_table(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Dict[str, Sequence[float]],
+    title: Optional[str] = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render one column per series, one row per x value.
+
+    This matches how the paper's figures read: the x axis down the left,
+    one labelled curve per benchmark plus the average.
+    """
+    headers = [x_label] + list(series)
+    rows = []
+    for index, x_value in enumerate(x_values):
+        row: List[object] = [x_value]
+        for values in series.values():
+            row.append(values[index])
+        rows.append(row)
+    return format_table(headers, rows, title=title, float_format=float_format)
+
+
+def ascii_chart(
+    x_values: Sequence[object],
+    series: Dict[str, Sequence[float]],
+    height: int = 16,
+    y_label: str = "",
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
+) -> str:
+    """Draw a coarse ASCII line chart: one mark character per series.
+
+    Intended for eyeballing curve *shape* in a terminal, not precision; the
+    companion :func:`format_series_table` carries the exact numbers.
+    """
+    marks = "*o+x#@%&$~^!"
+    all_values = [v for values in series.values() for v in values if v == v]
+    if not all_values:
+        return "(no data)"
+    low = min(all_values) if y_min is None else y_min
+    high = max(all_values) if y_max is None else y_max
+    if high <= low:
+        high = low + 1.0
+    span = high - low
+
+    columns = len(x_values)
+    grid = [[" "] * columns for _ in range(height)]
+    for series_index, values in enumerate(series.values()):
+        mark = marks[series_index % len(marks)]
+        for column, value in enumerate(values):
+            if value != value:  # NaN: no point to plot
+                continue
+            clamped = min(max(value, low), high)
+            row = height - 1 - int(round((clamped - low) / span * (height - 1)))
+            grid[row][column] = mark
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        y_at_row = high - span * row_index / (height - 1)
+        lines.append(f"{y_at_row:10.2f} |" + " ".join(row))
+    lines.append(" " * 10 + " +" + "-" * (2 * columns - 1))
+    lines.append(" " * 12 + " ".join(str(x)[0] for x in x_values))
+    legend = "   ".join(
+        f"{marks[index % len(marks)]}={name}" for index, name in enumerate(series)
+    )
+    lines.append(f"x: {', '.join(str(x) for x in x_values)}")
+    lines.append(f"legend: {legend}")
+    if y_label:
+        lines.insert(0, y_label)
+    return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""Cache-line allocation instructions vs write-validate (Section 4).
+
+The paper's abstract claims "the combination of no-fetch-on-write and
+write-allocate can provide better performance than cache line allocation
+instructions".  This module makes the comparison runnable:
+
+- :func:`find_allocatable_runs` stands in for the compiler: it finds the
+  line-fills a compiler could *prove* — maximal runs of consecutive
+  stores (no intervening reference) that cover an entire aligned line —
+  mirroring the paper's constraint that "the entire cache line must be
+  known to be written at compile time".
+- :func:`simulate_with_allocation` replays a trace on a fetch-on-write
+  cache, issuing an allocate instruction before each proven run.
+
+Write-validate needs no proof: it helps on *partial* line writes and
+across basic-block boundaries too, which is exactly why it wins
+(Figs 13-16 vs this upper-bound-for-allocation comparison).
+"""
+
+from typing import Set
+
+from repro.cache.cache import Cache
+from repro.cache.config import CacheConfig
+from repro.cache.stats import CacheStats
+from repro.trace.events import WRITE
+from repro.trace.trace import Trace
+
+
+def find_allocatable_runs(trace: Trace, line_size: int) -> Set[int]:
+    """Indices of stores at which an allocate instruction can be issued.
+
+    A position qualifies when it begins a run of *consecutive* stores
+    (no intervening loads — an intervening reference would end the
+    compiler's basic-block-local certainty) that together cover every
+    byte of one aligned line.  The run may write the line's words in any
+    order.
+    """
+    allocatable: Set[int] = set()
+    full_mask = (1 << line_size) - 1
+    index = 0
+    count = len(trace)
+    while index < count:
+        if trace.kinds[index] != WRITE:
+            index += 1
+            continue
+        # Extend the run of consecutive stores.
+        end = index
+        while end < count and trace.kinds[end] == WRITE:
+            end += 1
+        # Within the run, accumulate per-line coverage in order; an
+        # allocate is provable for a line once the run is known to cover
+        # it completely, and it must be issued before the line's first
+        # store of the run.
+        coverage = {}
+        first_store = {}
+        for position in range(index, end):
+            address = trace.addresses[position]
+            size = trace.sizes[position]
+            for byte in range(size):
+                line_address = (address + byte) & ~(line_size - 1)
+                offset = (address + byte) - line_address
+                coverage[line_address] = coverage.get(line_address, 0) | (1 << offset)
+                first_store.setdefault(line_address, position)
+        for line_address, mask in coverage.items():
+            if mask == full_mask:
+                allocatable.add(first_store[line_address])
+        index = end
+    return allocatable
+
+
+def simulate_with_allocation(trace: Trace, config: CacheConfig) -> CacheStats:
+    """Replay ``trace`` with allocate instructions before proven runs."""
+    allocatable = find_allocatable_runs(trace, config.line_size)
+    cache = Cache(config)
+    for index, (address, size, kind, _) in enumerate(
+        zip(trace.addresses, trace.sizes, trace.kinds, trace.icounts)
+    ):
+        if kind == WRITE:
+            if index in allocatable:
+                cache.allocate_line(address)
+            cache.write(address, size)
+        else:
+            cache.read(address, size)
+    cache.stats.instructions += trace.instruction_count
+    stats = cache.stats
+    cache.flush()
+    return stats
+
+
+def allocation_coverage(trace: Trace, line_size: int) -> float:
+    """Fraction of stores covered by provable allocations' lines.
+
+    A rough measure of how much of the write stream allocate
+    instructions can help at all.
+    """
+    allocatable = find_allocatable_runs(trace, line_size)
+    if not trace.write_count:
+        return 0.0
+    # Each allocation covers line_size worth of store bytes; estimate
+    # by stores-per-line at the trace's typical store size.
+    typical = sum(
+        size for size, kind in zip(trace.sizes, trace.kinds) if kind == WRITE
+    ) / trace.write_count
+    stores_per_line = max(1.0, line_size / typical)
+    return min(1.0, len(allocatable) * stores_per_line / trace.write_count)

@@ -1,0 +1,41 @@
+"""CLI: render reproduced figures/tables.
+
+Usage::
+
+    python -m repro.core.figures fig13 [fig14 ...] [--scale 0.5]
+    python -m repro.core.figures all
+"""
+
+import argparse
+import sys
+
+from repro.core.figures import FIGURES, render
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.core.figures",
+        description="Render reproduced figures/tables from Jouppi (1991/1993).",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="+",
+        help=f"figure ids ({', '.join(FIGURES)}) or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload scale factor (default 1.0; smaller is faster)",
+    )
+    args = parser.parse_args(argv)
+
+    requested = list(FIGURES) if "all" in args.figures else args.figures
+    for figure_id in requested:
+        print(render(figure_id, scale=args.scale))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

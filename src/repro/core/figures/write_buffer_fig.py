@@ -1,0 +1,80 @@
+"""Figure 5: coalescing write-buffer merges vs CPI.
+
+An 8-entry write buffer with 16 B entries retires one entry every ``n``
+cycles; the figure plots, against ``n``, the percentage of writes merged
+and the write-buffer-full stall CPI, averaged over the six benchmarks.
+The paper also plots the merge rate of a 6-entry write cache as a
+reference line, since the write cache achieves with recency what the
+write buffer can only achieve by being perpetually full.
+"""
+
+from typing import Sequence
+
+from repro.buffers.write_buffer import CoalescingWriteBuffer
+from repro.buffers.write_cache import WriteCache
+from repro.core.figures.base import FigureResult
+from repro.core.metrics import mean
+from repro.trace.corpus import BENCHMARK_NAMES, load
+
+#: Fig. 5 x axis: cycles per write-buffer entry retirement.
+RETIRE_INTERVALS: Sequence[int] = (0, 2, 4, 8, 12, 16, 20, 24, 28, 32, 36, 38, 40, 44, 48)
+
+
+def fig05(
+    scale: float = 1.0,
+    entries: int = 8,
+    entry_size: int = 16,
+    write_cache_entries: int = 6,
+) -> FigureResult:
+    """Coalescing write buffer merges vs CPI (Fig. 5)."""
+    merge_series = []
+    cpi_series = []
+    traces = {name: load(name, scale=scale) for name in BENCHMARK_NAMES}
+
+    for interval in RETIRE_INTERVALS:
+        merges = []
+        cpis = []
+        for trace in traces.values():
+            buffer = CoalescingWriteBuffer(
+                entries=entries, entry_size=entry_size, retire_interval=interval
+            )
+            stats = buffer.simulate(trace)
+            merges.append(100.0 * stats.merge_fraction)
+            cpis.append(stats.stall_cpi)
+        merge_series.append(mean(merges))
+        cpi_series.append(mean(cpis))
+
+    # Reference line: what a small write cache merges, independent of
+    # retirement rate.
+    write_cache_merges = mean(
+        [
+            100.0
+            * WriteCache(entries=write_cache_entries)
+            .run_writes(trace)
+            .fraction_removed
+            for trace in traces.values()
+        ]
+    )
+
+    return FigureResult(
+        figure_id="fig05",
+        title=f"Coalescing write buffer ({entries} entries) merges vs CPI",
+        x_label="cycles per write retire",
+        y_label="% merged / stall CPI",
+        x_values=list(RETIRE_INTERVALS),
+        series={
+            "% merged (write buffer)": merge_series,
+            f"% merged ({write_cache_entries}-entry write cache)": [
+                write_cache_merges
+            ]
+            * len(RETIRE_INTERVALS),
+            "stall CPI": cpi_series,
+        },
+        paper_shape=(
+            "merging stays low (~10% at 5-cycle retire) unless retirement "
+            "is so slow the buffer is nearly always full, at which point "
+            "stall CPI explodes; a small write cache merges more at zero "
+            "stall cost"
+        ),
+        notes="CPI plotted on the same axis; see table for exact values",
+    )

@@ -1,0 +1,130 @@
+"""Figures 7-9: write-cache traffic reduction.
+
+- Fig. 7: absolute percentage of all writes removed vs number of 8 B
+  write-cache entries.
+- Fig. 8: the same, relative to what a 4 KB direct-mapped write-back
+  cache removes (its writes-to-already-dirty fraction).
+- Fig. 9: relative reduction of 1/5/15-entry write caches as the
+  comparison write-back cache grows from 1 KB to 64 KB.
+"""
+
+from typing import Dict, List, Sequence
+
+from repro.buffers.write_cache import WriteCache
+from repro.cache.config import CacheConfig
+from repro.cache.policies import WriteHitPolicy
+from repro.core.figures.base import FigureResult
+from repro.core.metrics import mean
+from repro.core.runner import run
+from repro.trace.corpus import BENCHMARK_NAMES, load
+
+#: Fig. 7/8 x axis.
+ENTRY_COUNTS: Sequence[int] = tuple(range(0, 17))
+
+#: Fig. 9 x axis (KB) and its highlighted write-cache sizes.
+WB_SIZES_KB: Sequence[int] = (1, 2, 4, 8, 16, 32, 64)
+HIGHLIGHT_ENTRIES: Sequence[int] = (1, 5, 15)
+
+
+def _write_cache_removal(scale: float, entry_counts: Sequence[int]) -> Dict[str, List[float]]:
+    """Percentage of writes removed per workload per entry count."""
+    removal: Dict[str, List[float]] = {}
+    for name in BENCHMARK_NAMES:
+        trace = load(name, scale=scale)
+        removal[name] = [
+            100.0 * WriteCache(entries=entries).run_writes(trace).fraction_removed
+            for entries in entry_counts
+        ]
+    return removal
+
+
+def _write_back_removal(scale: float, size_kb: int, line_size: int = 16) -> Dict[str, float]:
+    """Percentage of writes a write-back cache removes, per workload."""
+    config = CacheConfig(
+        size=size_kb * 1024, line_size=line_size, write_hit=WriteHitPolicy.WRITE_BACK
+    )
+    return {
+        name: 100.0 * run(name, config, scale=scale).fraction_writes_to_dirty
+        for name in BENCHMARK_NAMES
+    }
+
+
+def fig07(scale: float = 1.0) -> FigureResult:
+    """Write cache absolute traffic reduction (Fig. 7)."""
+    removal = _write_cache_removal(scale, ENTRY_COUNTS)
+    removal["average"] = [
+        mean([removal[name][index] for name in BENCHMARK_NAMES])
+        for index in range(len(ENTRY_COUNTS))
+    ]
+    return FigureResult(
+        figure_id="fig07",
+        title="Write cache absolute traffic reduction",
+        x_label="write-cache entries (8B)",
+        y_label="% of all writes removed",
+        x_values=list(ENTRY_COUNTS),
+        series=removal,
+        paper_shape=(
+            "five entries remove ~40% of all writes on average (knee of "
+            "the curve); one entry ~16%; linpack and liver stay near zero"
+        ),
+    )
+
+
+def fig08(scale: float = 1.0, wb_size_kb: int = 4) -> FigureResult:
+    """Write cache traffic reduction relative to a 4 KB write-back cache."""
+    removal = _write_cache_removal(scale, ENTRY_COUNTS)
+    wb_removal = _write_back_removal(scale, wb_size_kb)
+    relative: Dict[str, List[float]] = {}
+    for name in BENCHMARK_NAMES:
+        baseline = wb_removal[name]
+        relative[name] = [
+            100.0 * value / baseline if baseline else 0.0 for value in removal[name]
+        ]
+    relative["average"] = [
+        mean([relative[name][index] for name in BENCHMARK_NAMES])
+        for index in range(len(ENTRY_COUNTS))
+    ]
+    return FigureResult(
+        figure_id="fig08",
+        title=f"Write cache traffic reduction relative to a {wb_size_kb}KB write-back cache",
+        x_label="write-cache entries (8B)",
+        y_label="% of WB-cache-removed writes",
+        x_values=list(ENTRY_COUNTS),
+        series=relative,
+        paper_shape=(
+            "four entries exceed 50% relative on all benchmarks except "
+            "met; >= 8 entries can exceed 100% on liver (fully-associative "
+            "write cache beats the direct-mapped WB cache's conflicts); "
+            "five entries ~63% on average, one entry ~21%"
+        ),
+    )
+
+
+def fig09(scale: float = 1.0) -> FigureResult:
+    """Relative traffic reduction of a write cache vs write-back cache size."""
+    removal = _write_cache_removal(scale, HIGHLIGHT_ENTRIES)
+    series: Dict[str, List[float]] = {
+        f"{entries} entry write cache": [] for entries in HIGHLIGHT_ENTRIES
+    }
+    for size_kb in WB_SIZES_KB:
+        wb_removal = _write_back_removal(scale, size_kb)
+        for position, entries in enumerate(HIGHLIGHT_ENTRIES):
+            relatives = []
+            for name in BENCHMARK_NAMES:
+                baseline = wb_removal[name]
+                value = removal[name][position]
+                relatives.append(100.0 * value / baseline if baseline else 0.0)
+            series[f"{entries} entry write cache"].append(mean(relatives))
+    return FigureResult(
+        figure_id="fig09",
+        title="Relative traffic reduction of a write cache vs write-back cache size",
+        x_label="write-back cache size (KB)",
+        y_label="relative % of writes removed",
+        x_values=list(WB_SIZES_KB),
+        series=series,
+        paper_shape=(
+            "declines gently and fairly uniformly as the comparison "
+            "write-back cache grows (5-entry: ~72% vs 1KB down to ~49% vs "
+            "32KB) — surprisingly small for a 32:1 size ratio"
+        ),
+    )

@@ -1,0 +1,133 @@
+"""The paper's headline claims (Sections 3.3 and 6) as measurable values.
+
+Each claim pairs the paper's number with the value measured on the
+synthetic corpus; the benchmark harness prints them side by side and
+EXPERIMENTS.md records them.  Shape, not absolute equality, is the
+success criterion (the substrate is synthetic) — each claim carries a
+tolerance band the regression tests assert.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.figures.write_cache_fig import fig07, fig08
+from repro.core.figures.write_hits import fig02
+from repro.core.figures.write_miss_fig import fig10, fig14
+from repro.core.metrics import mean
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One quantitative claim from the paper."""
+
+    name: str
+    paper_value: float
+    measured: float
+    low: float  #: acceptance band lower bound for the reproduction
+    high: float  #: acceptance band upper bound
+
+    @property
+    def within_band(self) -> bool:
+        """Whether the measured value lands in the acceptance band."""
+        return self.low <= self.measured <= self.high
+
+
+def headline_claims(scale: float = 1.0) -> List[Claim]:
+    """Measure every headline claim on the synthetic corpus."""
+    absolute = fig07(scale=scale)
+    relative = fig08(scale=scale)
+    dirty = fig02(scale=scale)
+    miss_fraction = fig10(scale=scale)
+    total_reduction = fig14(scale=scale)
+
+    def average_at(figure, x):
+        return figure.value("average", x)
+
+    cache_sizes = [8, 16, 32, 64, 128]
+    validate_range = [
+        total_reduction.value("write-validate", kb) for kb in cache_sizes
+    ]
+    around_range = [total_reduction.value("write-around", kb) for kb in cache_sizes]
+    invalidate_range = [
+        total_reduction.value("write-invalidate", kb) for kb in cache_sizes
+    ]
+
+    return [
+        Claim(
+            "five-entry write cache removes % of all writes",
+            paper_value=40.0,
+            measured=average_at(absolute, 5),
+            low=25.0,
+            high=55.0,
+        ),
+        Claim(
+            "one-entry write cache removes % of all writes",
+            paper_value=16.0,
+            measured=average_at(absolute, 1),
+            low=8.0,
+            high=30.0,
+        ),
+        Claim(
+            "4KB write-back cache removes % of writes",
+            paper_value=58.0,
+            measured=average_at(dirty, 4),
+            low=40.0,
+            high=75.0,
+        ),
+        Claim(
+            "five-entry write cache relative to 4KB WB cache (%)",
+            paper_value=63.0,
+            measured=average_at(relative, 5),
+            low=45.0,
+            high=85.0,
+        ),
+        # The synthetic workloads carry a somewhat smaller write-miss
+        # share than the paper's real binaries (see EXPERIMENTS.md), so
+        # the bands for the write-miss claims extend further below the
+        # paper's value than above it.
+        Claim(
+            "write misses as % of all misses (8KB/16B)",
+            paper_value=33.0,
+            measured=average_at(miss_fraction, 8),
+            low=12.0,
+            high=50.0,
+        ),
+        Claim(
+            "write-validate total miss reduction, 8-128KB avg (%)",
+            paper_value=32.5,  # paper: 30-35%
+            measured=mean(validate_range),
+            low=15.0,
+            high=45.0,
+        ),
+        Claim(
+            "write-around total miss reduction, 8-128KB avg (%)",
+            paper_value=20.0,  # paper: 15-25%
+            measured=mean(around_range),
+            low=8.0,
+            high=35.0,
+        ),
+        Claim(
+            "write-invalidate total miss reduction, 8-128KB avg (%)",
+            paper_value=15.0,  # paper: 10-20%
+            measured=mean(invalidate_range),
+            low=4.0,
+            high=25.0,
+        ),
+    ]
+
+
+def render_claims(claims: List[Claim]) -> str:
+    """Side-by-side paper-vs-measured report."""
+    lines = ["Headline claims (paper vs measured)", "=" * 60]
+    for claim in claims:
+        flag = "ok" if claim.within_band else "OUT OF BAND"
+        lines.append(
+            f"{claim.name:55s} paper={claim.paper_value:6.1f} "
+            f"measured={claim.measured:6.1f} [{claim.low:.0f}..{claim.high:.0f}] {flag}"
+        )
+    return "\n".join(lines)
+
+
+def claims_by_name(scale: float = 1.0) -> Dict[str, Claim]:
+    """Claims keyed by name, for tests."""
+    return {claim.name: claim for claim in headline_claims(scale=scale)}

@@ -1,0 +1,71 @@
+"""Derived-metric computations shared by the figure drivers.
+
+The write-miss comparisons (Figs 13-16) follow the paper's "eliminated
+miss" bookkeeping, which under natural simulation semantics reduces to
+comparing demand-fetch counts against the fetch-on-write baseline:
+
+- Fig 13/15 (write-miss reduction): ``(fetches_fow - fetches_policy) /
+  write_misses_fow``.  This can exceed 100% exactly where the paper's
+  does — when a no-allocate policy also avoids *read* misses by keeping
+  old data resident (liver at 32-64 KB).
+- Fig 14/16 (total-miss reduction): ``(fetches_fow - fetches_policy) /
+  fetches_fow`` — "basically Figure 13 multiplied by Figure 10".
+"""
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cache.policies import WriteMissPolicy
+from repro.cache.stats import CacheStats
+
+
+def write_miss_reduction(fow: CacheStats, policy: CacheStats) -> float:
+    """Percent of (fetch-on-write) write misses removed by ``policy``."""
+    if fow.write_misses == 0:
+        return 0.0
+    return 100.0 * (fow.fetches - policy.fetches) / fow.write_misses
+
+
+def total_miss_reduction(fow: CacheStats, policy: CacheStats) -> float:
+    """Percent of all (fetch-on-write) misses removed by ``policy``."""
+    if fow.fetches == 0:
+        return 0.0
+    return 100.0 * (fow.fetches - policy.fetches) / fow.fetches
+
+
+#: Fig. 17's guaranteed relations: (lighter, heavier) fetch traffic.
+#: write-around vs write-validate is deliberately absent — they are
+#: incomparable siblings in the Hasse diagram.
+PARTIAL_ORDER: Sequence[Tuple[WriteMissPolicy, WriteMissPolicy]] = (
+    (WriteMissPolicy.WRITE_VALIDATE, WriteMissPolicy.WRITE_INVALIDATE),
+    (WriteMissPolicy.WRITE_AROUND, WriteMissPolicy.WRITE_INVALIDATE),
+    (WriteMissPolicy.WRITE_INVALIDATE, WriteMissPolicy.FETCH_ON_WRITE),
+    (WriteMissPolicy.WRITE_VALIDATE, WriteMissPolicy.FETCH_ON_WRITE),
+    (WriteMissPolicy.WRITE_AROUND, WriteMissPolicy.FETCH_ON_WRITE),
+)
+
+
+def partial_order_violations(
+    stats_by_policy: Dict[WriteMissPolicy, CacheStats],
+) -> List[str]:
+    """Check Fig. 17's partial order of fetch traffic on measured stats.
+
+    Returns human-readable descriptions of any violated relations (the
+    expected result is an empty list).
+    """
+    violations = []
+    for lighter, heavier in PARTIAL_ORDER:
+        if lighter not in stats_by_policy or heavier not in stats_by_policy:
+            continue
+        light_fetches = stats_by_policy[lighter].fetches
+        heavy_fetches = stats_by_policy[heavier].fetches
+        if light_fetches > heavy_fetches:
+            violations.append(
+                f"{lighter.value} fetched {light_fetches} lines but "
+                f"{heavier.value} fetched only {heavy_fetches}"
+            )
+    return violations
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (the paper's per-benchmark averaging)."""
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,96 @@
+"""Closed-form models of the paper's arguments.
+
+The paper's prose contains several back-of-envelope identities and bounds
+that the simulations should obey; making them executable gives the test
+suite cross-checks that are independent of the simulator's bookkeeping:
+
+- the Section 3 write-traffic identity relating write-back transactions
+  to the writes-to-already-dirty fraction;
+- a steady-state lower bound on write-buffer stall CPI (the arithmetic
+  behind "to attain a write traffic reduction of 50%, writes must be
+  retired no more frequently than every 38 cycles");
+- the Section 5 write-bandwidth ratio ("an average write bandwidth
+  corresponding to half of the read bandwidth is sufficient").
+"""
+
+from repro.cache.stats import CacheStats
+from repro.common.errors import ConfigurationError
+
+
+def predicted_writeback_transactions(stats: CacheStats) -> int:
+    """Section 3's identity, rearranged.
+
+    ``write back transactions = # of writes − # of writes to already
+    dirty lines`` — every write either dirties a line (which must
+    eventually be written back exactly once, at replacement or flush) or
+    lands on an already-dirty one.
+    """
+    return stats.write_line_accesses - stats.writes_to_dirty_lines
+
+
+def writeback_identity_holds(stats: CacheStats) -> bool:
+    """Check the identity against measured (execution + flush) write-backs."""
+    measured = stats.writebacks + stats.flushed_dirty_lines
+    return measured == predicted_writeback_transactions(stats)
+
+
+def write_buffer_stall_floor(
+    writes_per_instruction: float, merge_fraction: float, retire_interval: int
+) -> float:
+    """Steady-state lower bound on write-buffer stall CPI.
+
+    Each instruction produces ``w·(1−m)`` unmerged buffer entries; each
+    entry occupies the drain port for ``n`` cycles; the CPU itself needs
+    one cycle per instruction.  When the drain work per instruction
+    exceeds one cycle, the CPU must stall for the difference:
+
+        stall_cpi ≥ max(0, w·(1−m)·n − 1)
+
+    This is a *floor*: burstiness only adds stalls on top (a finite
+    buffer cannot exploit idle periods it has already drained through).
+    """
+    if not 0.0 <= merge_fraction <= 1.0:
+        raise ConfigurationError("merge_fraction must be within [0, 1]")
+    if writes_per_instruction < 0 or retire_interval < 0:
+        raise ConfigurationError("rates must be non-negative")
+    drain_work = writes_per_instruction * (1.0 - merge_fraction) * retire_interval
+    return max(0.0, drain_work - 1.0)
+
+
+def min_merge_fraction_for_stall_free(
+    writes_per_instruction: float, retire_interval: int
+) -> float:
+    """The merge fraction *required* for stall-free steady state.
+
+    From ``w·(1−m)·n ≤ 1``: a buffer retiring every ``n`` cycles only
+    runs without stalling if the program merges at least
+    ``1 − 1/(w·n)`` of its writes.  At the suite's write density
+    (~0.11 writes/instruction) and the paper's 38-cycle retirement this
+    is ~77% — which is why "the only way that a significant number of
+    writes are merged is if the write buffer is almost always full".
+    Returns 0.0 when even 0% merging is stall-free.
+    """
+    if writes_per_instruction <= 0 or retire_interval <= 0:
+        return 0.0
+    return max(0.0, 1.0 - 1.0 / (writes_per_instruction * retire_interval))
+
+
+def write_bandwidth_ratio(stats: CacheStats, include_flush: bool = True) -> float:
+    """Write-back bytes per fetch byte (Section 5.2's sizing question)."""
+    write_bytes = stats.writeback_bytes
+    if include_flush:
+        write_bytes += stats.flush_writeback_bytes
+    if stats.fetch_bytes == 0:
+        return 0.0
+    return write_bytes / stats.fetch_bytes
+
+
+def copy_bandwidth_penalty(fetch_on_write: bool) -> float:
+    """Section 4's block-copy argument as a ratio.
+
+    A copy moves one read plus one write per item.  With no-fetch-on-
+    write the bus carries 2 units per item (fetch source + write
+    destination); with fetch-on-write it carries 3 (…plus fetch the
+    destination's old contents), so throughput is 2/3.
+    """
+    return 2.0 / 3.0 if fetch_on_write else 1.0

@@ -1,0 +1,102 @@
+"""From traffic counts to performance: a CPI estimate per configuration.
+
+The model charges:
+
+- one base cycle per instruction;
+- ``fetch_latency`` stall cycles per demand fetch (read misses, partial
+  refills and fetch-on-write fetches all stall the processor — the
+  latency cost Section 4's no-fetch policies eliminate);
+- back-side *port occupancy* for every transaction; when occupancy
+  demand exceeds the port's capacity (one transaction stream), the
+  overflow becomes stall cycles — this is how a write-through cache's
+  store traffic can throttle even a processor whose writes are buffered.
+
+It deliberately ignores overlap between misses (the paper's machines are
+in-order single-issue for this purpose), making it a *pessimistic but
+policy-fair* comparator: every configuration is charged by the same
+rules, so differences isolate the policy, which is all the paper's
+arguments need.
+"""
+
+from dataclasses import dataclass
+
+from repro.cache.stats import CacheStats
+from repro.hierarchy.timing import DEFAULT_TIMING, MemoryTiming
+
+
+@dataclass(frozen=True)
+class PerformanceEstimate:
+    """CPI breakdown for one simulated configuration."""
+
+    instructions: int
+    base_cycles: int
+    fetch_stall_cycles: float
+    port_overflow_cycles: float
+
+    @property
+    def total_cycles(self) -> float:
+        """All cycles charged."""
+        return self.base_cycles + self.fetch_stall_cycles + self.port_overflow_cycles
+
+    @property
+    def cpi(self) -> float:
+        """Estimated cycles per instruction."""
+        return self.total_cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def miss_stall_cpi(self) -> float:
+        """The latency component alone."""
+        return self.fetch_stall_cycles / self.instructions if self.instructions else 0.0
+
+
+def estimate_performance(
+    stats: CacheStats,
+    timing: MemoryTiming = DEFAULT_TIMING,
+    include_flush_traffic: bool = False,
+) -> PerformanceEstimate:
+    """Estimate CPI for a run described by ``stats``.
+
+    ``include_flush_traffic`` charges end-of-run flush write-backs to the
+    port (for steady-state comparisons leave it off; the paper adds it
+    only when correcting cold-stop traffic numbers).
+    """
+    instructions = max(1, stats.instructions)
+
+    fetch_stalls = stats.fetches * timing.fetch_latency
+
+    # Port occupancy: fetches + write-backs + write-throughs, each with
+    # its transferred bytes.
+    occupancy = 0.0
+    if stats.fetches:
+        occupancy += stats.fetches * timing.transaction_cycles(
+            stats.fetch_bytes / stats.fetches
+        )
+    if stats.writebacks:
+        occupancy += stats.writebacks * timing.transaction_cycles(
+            stats.writeback_bytes / stats.writebacks
+        )
+    if stats.write_throughs:
+        occupancy += stats.write_throughs * timing.transaction_cycles(
+            stats.write_through_bytes / stats.write_throughs
+        )
+    if include_flush_traffic and stats.flushed_dirty_lines:
+        occupancy += stats.flushed_dirty_lines * timing.transaction_cycles(
+            stats.flush_writeback_bytes / stats.flushed_dirty_lines
+        )
+
+    # The port delivers one cycle of service per CPU cycle.  Demand up to
+    # the program's own cycle count (base + fetch stalls) rides free in
+    # the background; the excess stalls the CPU.  Writes that are not
+    # hidden stall the CPU for their full occupancy instead.
+    if timing.writes_hidden:
+        available = instructions + fetch_stalls
+        overflow = max(0.0, occupancy - available)
+    else:
+        overflow = occupancy
+
+    return PerformanceEstimate(
+        instructions=instructions,
+        base_cycles=instructions,
+        fetch_stall_cycles=float(fetch_stalls),
+        port_overflow_cycles=overflow,
+    )

@@ -1,0 +1,62 @@
+"""One-shot report generation: every reproduced artefact to a directory.
+
+``python -m repro report --out results/`` regenerates Table 1, all
+figures, the headline claims, and CSV exports, writing one text file per
+artefact plus an ``INDEX.md``.  This is the programmatic equivalent of
+running the benchmark harness, for users who want the numbers without
+pytest.
+"""
+
+import pathlib
+from typing import Iterable, Optional
+
+from repro.core.figures import FIGURES, get_figure
+from repro.core.figures.base import FigureResult
+from repro.core.headline import headline_claims, render_claims
+
+
+def generate_report(
+    output_dir: str,
+    figure_ids: Optional[Iterable[str]] = None,
+    scale: float = 1.0,
+    csv: bool = True,
+) -> pathlib.Path:
+    """Render the requested artefacts into ``output_dir``.
+
+    Returns the path of the generated ``INDEX.md``.
+    """
+    directory = pathlib.Path(output_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    requested = list(figure_ids) if figure_ids else list(FIGURES)
+
+    index_lines = [
+        "# Reproduction report",
+        "",
+        f"Workload scale: {scale}",
+        "",
+        "| artefact | files |",
+        "|---|---|",
+    ]
+    for figure_id in requested:
+        result = get_figure(figure_id, scale=scale)
+        files = [f"{figure_id}.txt"]
+        if isinstance(result, FigureResult):
+            (directory / f"{figure_id}.txt").write_text(
+                result.render() + "\n", encoding="utf-8"
+            )
+            if csv:
+                (directory / f"{figure_id}.csv").write_text(
+                    result.to_csv(), encoding="utf-8"
+                )
+                files.append(f"{figure_id}.csv")
+        else:
+            (directory / f"{figure_id}.txt").write_text(str(result) + "\n", encoding="utf-8")
+        index_lines.append(f"| {figure_id} | {', '.join(files)} |")
+
+    claims_text = render_claims(headline_claims(scale=scale))
+    (directory / "headline.txt").write_text(claims_text + "\n", encoding="utf-8")
+    index_lines.append("| headline claims | headline.txt |")
+
+    index_path = directory / "INDEX.md"
+    index_path.write_text("\n".join(index_lines) + "\n", encoding="utf-8")
+    return index_path

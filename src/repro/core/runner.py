@@ -1,0 +1,47 @@
+"""Memoised experiment execution.
+
+Every figure sweeps the same six traces over overlapping configuration
+grids (Fig. 13 and Fig. 14 share all their runs; Fig. 10 shares its
+fetch-on-write runs with both), so results are cached per process keyed by
+``(workload, scale, seed, config)``.  The underlying engine is
+:func:`repro.cache.fastsim.simulate_trace`, which falls back to the
+reference simulator for non-direct-mapped configurations.
+"""
+
+from typing import Dict, Iterable, Tuple
+
+from repro.cache.config import CacheConfig
+from repro.cache.fastsim import simulate_trace
+from repro.cache.stats import CacheStats
+from repro.trace.corpus import BENCHMARK_NAMES, DEFAULT_SCALE, load
+
+_run_cache: Dict[Tuple, CacheStats] = {}
+
+
+def run(
+    workload: str,
+    config: CacheConfig,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 1991,
+) -> CacheStats:
+    """Simulate ``workload`` through ``config`` (cached)."""
+    key = (workload, scale, seed, config)
+    if key not in _run_cache:
+        trace = load(workload, scale=scale, seed=seed)
+        _run_cache[key] = simulate_trace(trace, config, flush=True)
+    return _run_cache[key]
+
+
+def run_suite(
+    config: CacheConfig,
+    workloads: Iterable[str] = BENCHMARK_NAMES,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 1991,
+) -> Dict[str, CacheStats]:
+    """Simulate every workload through ``config``, preserving order."""
+    return {name: run(name, config, scale=scale, seed=seed) for name in workloads}
+
+
+def clear_run_cache() -> None:
+    """Drop memoised results (tests that mutate scale call this)."""
+    _run_cache.clear()

@@ -1,0 +1,133 @@
+"""Seed-sensitivity analysis for the synthetic corpus.
+
+The substrate is synthetic, so every reproduced number carries a
+question: how much of it is the workload *model* and how much is one
+particular random draw?  These helpers re-measure a figure's average
+series under several generator seeds and report the spread, which the
+robustness bench asserts is small relative to the effects the paper
+reports.
+"""
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.figures import get_figure
+from repro.core.metrics import mean
+
+DEFAULT_SEEDS: Sequence[int] = (1991, 7, 42, 1234)
+
+
+@dataclass(frozen=True)
+class SeedSpread:
+    """Per-x-value spread of one series across seeds."""
+
+    figure_id: str
+    series_name: str
+    x_values: Sequence
+    means: List[float]
+    mins: List[float]
+    maxs: List[float]
+
+    @property
+    def max_spread(self) -> float:
+        """Largest (max - min) across the x axis."""
+        return max(hi - lo for hi, lo in zip(self.maxs, self.mins))
+
+    @property
+    def mean_spread(self) -> float:
+        """Average (max - min) across the x axis."""
+        return mean([hi - lo for hi, lo in zip(self.maxs, self.mins)])
+
+
+def seed_sensitivity(
+    figure_id: str,
+    series_name: str = "average",
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    scale: float = 1.0,
+) -> SeedSpread:
+    """Measure one series of one figure across several workload seeds.
+
+    Note: figure drivers read traces through the corpus cache keyed by
+    seed, so this is exactly "regenerate the programs with different
+    random draws and redo the experiment".
+    """
+    per_seed: List[List[float]] = []
+    x_values = None
+    for seed in seeds:
+        result = _figure_with_seed(figure_id, seed, scale)
+        x_values = result.x_values
+        per_seed.append(list(result.series[series_name]))
+
+    points = len(x_values)
+    means = [mean([series[i] for series in per_seed]) for i in range(points)]
+    mins = [min(series[i] for series in per_seed) for i in range(points)]
+    maxs = [max(series[i] for series in per_seed) for i in range(points)]
+    return SeedSpread(figure_id, series_name, x_values, means, mins, maxs)
+
+
+def _figure_with_seed(figure_id: str, seed: int, scale: float):
+    """Evaluate a figure driver against traces generated with ``seed``.
+
+    The drivers take only ``scale``; the seed travels through the corpus
+    loader, so we temporarily rebind the default-seed plumbing in
+    :mod:`repro.core.runner` and :mod:`repro.core.figures` by calling the
+    underlying sweep machinery with patched defaults.
+    """
+    import repro.core.runner as runner_module
+    import repro.trace.corpus as corpus_module
+
+    original_run = runner_module.run
+
+    def seeded_run(workload, config, scale=corpus_module.DEFAULT_SCALE, seed_=seed, **kw):
+        return original_run(workload, config, scale=scale, seed=seed_)
+
+    # Patch every consumer module that imported `run` directly.
+    import repro.core.sweep as sweep_module
+    import repro.core.figures.write_miss_fig as write_miss_module
+    import repro.core.figures.traffic_fig as traffic_module
+    import repro.core.figures.write_cache_fig as write_cache_module
+
+    patched = [
+        (runner_module, "run"),
+        (sweep_module, "run"),
+        (write_miss_module, "run"),
+        (traffic_module, "run"),
+        (write_cache_module, "run"),
+    ]
+    saved = [(module, getattr(module, attribute)) for module, attribute in patched]
+    corpus_load = corpus_module.load
+
+    def seeded_load(name, scale=corpus_module.DEFAULT_SCALE, seed_=seed, **kw):
+        return corpus_load(name, scale=scale, seed=seed_)
+
+    load_consumers = []
+    import repro.core.figures.write_buffer_fig as write_buffer_module
+    import repro.core.figures.tables_fig as tables_module
+
+    load_consumers = [
+        (write_cache_module, "load"),
+        (write_buffer_module, "load"),
+        (tables_module, "load"),
+    ]
+    saved_loads = [(module, getattr(module, attribute)) for module, attribute in load_consumers]
+
+    try:
+        for module, attribute in patched:
+            setattr(module, attribute, seeded_run)
+        for module, attribute in load_consumers:
+            setattr(module, attribute, seeded_load)
+        return get_figure(figure_id, scale=scale)
+    finally:
+        for (module, attribute), (_, original) in zip(patched, saved):
+            setattr(module, attribute, original)
+        for (module, attribute), (_, original) in zip(load_consumers, saved_loads):
+            setattr(module, attribute, original)
+
+
+def format_spread(spread: SeedSpread) -> str:
+    """One-line summary for reports."""
+    return (
+        f"{spread.figure_id}/{spread.series_name}: mean spread "
+        f"{spread.mean_spread:.2f}, max spread {spread.max_spread:.2f} "
+        f"over {len(spread.means)} points"
+    )

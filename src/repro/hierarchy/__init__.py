@@ -1,0 +1,21 @@
+"""Memory-hierarchy composition: what sits behind the first-level cache.
+
+The paper assumes "two or more levels of caching" and measures the traffic
+at the back side of the first level (Section 5).  This package provides
+the next-level components and the glue:
+
+- :class:`repro.hierarchy.memory.MainMemory` — a counting (optionally
+  data-carrying) terminal backend.
+- :class:`repro.hierarchy.memory.TrafficMeter` — transaction/byte counts
+  observed at any backend boundary.
+- :class:`repro.hierarchy.system.CacheSystem` — an L1 cache composed with
+  an optional write buffer or write cache and a memory.
+- :class:`repro.hierarchy.system.CacheLevelBackend` — adapter that lets a
+  :class:`~repro.cache.cache.Cache` serve as the next level below another
+  cache, enabling two-level simulations.
+"""
+
+from repro.hierarchy.memory import MainMemory, TrafficMeter
+from repro.hierarchy.system import CacheLevelBackend, CacheSystem
+
+__all__ = ["MainMemory", "TrafficMeter", "CacheLevelBackend", "CacheSystem"]

@@ -1,0 +1,102 @@
+"""Terminal memory backend with traffic metering.
+
+:class:`MainMemory` terminates a backend chain.  It counts every
+transaction and byte by category (the Section 5 taxonomy) and can
+optionally store real data so the fidelity property tests can compare
+flushed memory contents against a flat reference model.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.cache.backend import Backend
+
+
+@dataclass
+class TrafficMeter:
+    """Transactions and bytes observed at a backend boundary."""
+
+    fetches: int = 0
+    fetch_bytes: int = 0
+    writebacks: int = 0
+    writeback_bytes: int = 0
+    write_throughs: int = 0
+    write_through_bytes: int = 0
+
+    @property
+    def transactions(self) -> int:
+        """All transactions regardless of direction."""
+        return self.fetches + self.writebacks + self.write_throughs
+
+    @property
+    def bytes_total(self) -> int:
+        """All bytes moved regardless of direction."""
+        return self.fetch_bytes + self.writeback_bytes + self.write_through_bytes
+
+    @property
+    def write_transactions(self) -> int:
+        """Transactions moving data *toward* memory."""
+        return self.writebacks + self.write_throughs
+
+
+class MainMemory(Backend):
+    """Flat memory: terminal point of every backend chain.
+
+    In data mode, contents live in a byte-granular dict so sparse address
+    spaces cost nothing; unwritten bytes read as zero.
+    """
+
+    def __init__(self, store_data: bool = False) -> None:
+        self.meter = TrafficMeter()
+        self.store_data = store_data
+        self._bytes: Dict[int, int] = {}
+
+    # -- Backend interface ---------------------------------------------------
+
+    def fetch(self, line_address: int, line_size: int) -> Optional[bytes]:
+        self.meter.fetches += 1
+        self.meter.fetch_bytes += line_size
+        if not self.store_data:
+            return None
+        data = self._bytes
+        return bytes(data.get(line_address + index, 0) for index in range(line_size))
+
+    def write_back(
+        self,
+        line_address: int,
+        line_size: int,
+        dirty_mask: int,
+        data: Optional[bytes] = None,
+    ) -> None:
+        self.meter.writebacks += 1
+        self.meter.writeback_bytes += line_size
+        if self.store_data and data is not None:
+            # Only dirty bytes are authoritative; clean bytes of the victim
+            # may predate later write-throughs in mixed configurations.
+            store = self._bytes
+            mask = dirty_mask
+            index = 0
+            while mask:
+                if mask & 1:
+                    store[line_address + index] = data[index]
+                mask >>= 1
+                index += 1
+
+    def write_through(self, address: int, size: int, data: Optional[bytes] = None) -> None:
+        self.meter.write_throughs += 1
+        self.meter.write_through_bytes += size
+        if self.store_data and data is not None:
+            store = self._bytes
+            for index in range(size):
+                store[address + index] = data[index]
+
+    # -- inspection -----------------------------------------------------------
+
+    def peek(self, address: int, size: int) -> bytes:
+        """Read memory contents without counting a transaction."""
+        return bytes(self._bytes.get(address + index, 0) for index in range(size))
+
+    def poke(self, address: int, data: bytes) -> None:
+        """Initialise memory contents without counting a transaction."""
+        for index, value in enumerate(data):
+            self._bytes[address + index] = value

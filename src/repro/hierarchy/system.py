@@ -1,0 +1,100 @@
+"""System composition: L1 cache + buffering structure + memory.
+
+:class:`CacheSystem` wires together the pieces Section 5 measures: a
+first-level cache whose back side feeds either main memory directly, or a
+write cache (for write-through organisations) in front of main memory.
+The traffic meter on the memory shows what ultimately leaves the chip.
+
+:class:`CacheLevelBackend` adapts a :class:`~repro.cache.cache.Cache` to
+the :class:`~repro.cache.backend.Backend` interface so a second cache
+level can sit underneath the first ("two or more levels of caching are
+assumed" — Section 1).
+"""
+
+from typing import Optional
+
+from repro.cache.backend import Backend
+from repro.cache.cache import Cache
+from repro.cache.config import CacheConfig
+from repro.cache.stats import CacheStats
+from repro.buffers.write_cache import WriteCache, WriteCacheBackend
+from repro.hierarchy.memory import MainMemory, TrafficMeter
+from repro.trace.trace import Trace
+
+
+class CacheLevelBackend(Backend):
+    """Present a cache as the next level below another cache.
+
+    Fetches become line-sized reads; write-backs become writes of the
+    dirty sub-blocks; write-throughs become ordinary writes.  All of these
+    go through the lower cache's normal access paths, so its statistics
+    and its own backend traffic remain meaningful.
+    """
+
+    def __init__(self, cache: Cache) -> None:
+        self.cache = cache
+
+    def fetch(self, line_address: int, line_size: int):
+        self.cache.read(line_address, line_size)
+        return None
+
+    def write_back(self, line_address: int, line_size: int, dirty_mask: int, data=None):
+        # Write each contiguous dirty extent; word granularity is enough
+        # for the modelled ISA.
+        offset = 0
+        while offset < line_size:
+            if (dirty_mask >> offset) & 1:
+                start = offset
+                while offset < line_size and (dirty_mask >> offset) & 1:
+                    offset += 1
+                self._write_extent(line_address + start, offset - start)
+            else:
+                offset += 1
+
+    def _write_extent(self, address: int, length: int) -> None:
+        # Split into the 4/8 B stores the cache access path accepts.
+        while length:
+            size = 8 if length >= 8 and address % 8 == 0 else 4
+            self.cache.write(address, size)
+            address += size
+            length -= size
+
+    def write_through(self, address: int, size: int, data=None) -> None:
+        self.cache.write(address, size)
+
+
+class CacheSystem:
+    """A first-level cache with its exit-traffic machinery and memory."""
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        write_cache_entries: int = 0,
+        memory: Optional[MainMemory] = None,
+    ) -> None:
+        self.memory = memory if memory is not None else MainMemory(store_data=config.store_data)
+        self.write_cache: Optional[WriteCache] = None
+        backend: Backend = self.memory
+        if write_cache_entries > 0:
+            if not config.is_write_through:
+                raise ValueError(
+                    "a write cache reduces write-through traffic; "
+                    "write-back caches use a dirty-victim buffer instead"
+                )
+            self.write_cache = WriteCache(entries=write_cache_entries)
+            backend = WriteCacheBackend(self.write_cache, self.memory)
+        self.l1 = Cache(config, backend=backend)
+
+    def run(self, trace: Trace, flush: bool = True) -> CacheStats:
+        """Drive ``trace`` through the system; optionally flush at the end."""
+        stats = self.l1.run(trace)
+        if flush:
+            self.l1.flush()
+            if self.write_cache is not None:
+                self.write_cache.flush()
+        return stats
+
+    @property
+    def memory_traffic(self) -> TrafficMeter:
+        """Traffic that actually reached main memory."""
+        return self.memory.meter

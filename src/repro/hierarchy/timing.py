@@ -1,0 +1,48 @@
+"""Back-end timing parameters.
+
+The paper treats traffic and latency as the two costs of a write policy
+("write miss policies, although they do affect bandwidth, focus foremost
+on latency").  :class:`MemoryTiming` captures the next level's behaviour
+with the piece-wise-linear model the paper alludes to ("the write bus,
+which may be pipelined or have some piece-wise linear latency in terms
+of write size"): a fixed per-transaction overhead plus a per-byte
+transfer cost.
+"""
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MemoryTiming:
+    """Cycle costs of the interface below the first-level cache.
+
+    Attributes:
+        fetch_latency: cycles the CPU waits for the critical word of a
+            demand fetch (the stall the processor actually sees).
+        transaction_overhead: occupancy cycles per transaction, any kind.
+        cycles_per_byte: additional occupancy per byte transferred.
+        writes_hidden: whether write-side transactions (write-throughs
+            and write-backs) are buffered well enough that only port
+            *occupancy contention*, not latency, costs CPU time.
+    """
+
+    fetch_latency: int = 20
+    transaction_overhead: int = 4
+    cycles_per_byte: float = 0.5
+    writes_hidden: bool = True
+
+    def __post_init__(self) -> None:
+        if self.fetch_latency < 0 or self.transaction_overhead < 0:
+            raise ConfigurationError("latencies must be non-negative")
+        if self.cycles_per_byte < 0:
+            raise ConfigurationError("cycles_per_byte must be non-negative")
+
+    def transaction_cycles(self, byte_count: int) -> float:
+        """Port occupancy of one transaction moving ``byte_count`` bytes."""
+        return self.transaction_overhead + self.cycles_per_byte * byte_count
+
+
+#: A second-level cache interface typical of the paper's era.
+DEFAULT_TIMING = MemoryTiming()

@@ -1,0 +1,41 @@
+"""Pipeline-integration models for stores (Section 3, Figs 3-4, Tables 2-3).
+
+The paper's write-hit discussion is partly architectural: how many cycles
+a store costs in each cache organisation, what a delayed-write register
+buys, and what hardware each alternative needs.  This package makes those
+arguments executable:
+
+- :mod:`repro.pipeline.timing` — cycles-per-store for each organisation
+  and the effective-bandwidth arithmetic behind the "33% reduction" claim.
+- :mod:`repro.pipeline.delayed_write` — a behavioural model of Fig. 4's
+  last-write register, with forwarding correctness and cycle accounting.
+- :mod:`repro.pipeline.hardware` — Tables 2 and 3 as structured data plus
+  the parity-vs-ECC overhead arithmetic.
+"""
+
+from repro.pipeline.timing import (
+    Organization,
+    cycles_per_store,
+    effective_bandwidth,
+    store_interlock_cycles,
+)
+from repro.pipeline.delayed_write import DelayedWriteCache
+from repro.pipeline.hardware import (
+    compare_hit_policies,
+    error_protection_overhead,
+    hardware_requirements,
+)
+from repro.pipeline.pipeline_sim import PipelineRun, simulate_pipeline
+
+__all__ = [
+    "Organization",
+    "cycles_per_store",
+    "effective_bandwidth",
+    "store_interlock_cycles",
+    "DelayedWriteCache",
+    "compare_hit_policies",
+    "error_protection_overhead",
+    "hardware_requirements",
+    "PipelineRun",
+    "simulate_pipeline",
+]

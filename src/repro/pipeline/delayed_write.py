@@ -1,0 +1,120 @@
+"""Behavioural model of the delayed-write (last-write) register (Fig. 4).
+
+The mechanism: with separate address lines to the tag and data arrays, a
+store probes the tags for the *current* write while the data array writes
+the *previous* (delayed) write.  Complications the paper lists, all
+modelled here:
+
+1. "the delayed write address register must also have a comparator so that
+   if a read for the delayed write address occurs before it is written into
+   the cache it can be supplied from the delayed write register" —
+   :meth:`DelayedWriteCache.read` forwards from the register.
+2. The pending write can only complete if its probe hit and no read miss
+   displaced the line since; otherwise it must be replayed when the line
+   returns.
+3. "if the line size is larger than the width of the cache RAMs, the line
+   dirty bit must be associated with the tag ... the write can only be
+   performed in one cycle if the line is already dirty" — the
+   ``dirty_bit_with_tag`` option charges an extra cycle for first writes
+   to clean lines.
+
+The model wraps a data-carrying write-back :class:`~repro.cache.cache.Cache`
+and accounts cycles; its forwarding correctness is property-tested against
+a flat memory model.
+"""
+
+from typing import Optional
+
+from repro.cache.backend import Backend
+from repro.cache.cache import Cache
+from repro.cache.config import CacheConfig
+from repro.cache.policies import WriteHitPolicy
+from repro.common.errors import ConfigurationError
+
+
+class DelayedWriteCache:
+    """A write-back cache front-end with a one-entry last-write register."""
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        backend: Optional[Backend] = None,
+        dirty_bit_with_tag: bool = False,
+    ) -> None:
+        if config.write_hit is not WriteHitPolicy.WRITE_BACK:
+            raise ConfigurationError(
+                "the delayed-write register exists to give write-back "
+                "caches single-cycle stores; use a plain write-through "
+                "cache otherwise"
+            )
+        self.cache = Cache(config, backend=backend)
+        self.dirty_bit_with_tag = dirty_bit_with_tag
+        self.cycles = 0
+        self.forwarded_reads = 0
+        self.extra_dirty_cycles = 0
+        self._pending_address: Optional[int] = None
+        self._pending_size = 0
+        self._pending_data: Optional[bytes] = None
+
+    # -- pipeline-facing operations -------------------------------------------
+
+    def write(self, address: int, size: int, data: Optional[bytes] = None) -> None:
+        """Issue a store: one cycle (probe now, data written next store)."""
+        self.cycles += 1
+        self._retire_pending()
+        self._pending_address = address
+        self._pending_size = size
+        self._pending_data = data
+
+    def read(self, address: int, size: int, into: Optional[bytearray] = None) -> None:
+        """Issue a load: forwarded from the register on address match."""
+        self.cycles += 1
+        if self._pending_overlaps(address, size):
+            if self._covered_by_pending(address, size):
+                self.forwarded_reads += 1
+                if into is not None and self._pending_data is not None:
+                    offset = address - self._pending_address
+                    into[: size] = self._pending_data[offset : offset + size]
+                return
+            # Partial overlap: the register alone cannot supply the read;
+            # retire the pending write first (an extra cycle) then read.
+            self.cycles += 1
+            self._retire_pending()
+        self.cache.read(address, size, into=into)
+
+    def drain(self) -> None:
+        """Retire any pending write (end of program / context switch)."""
+        self._retire_pending()
+
+    # -- internals ---------------------------------------------------------------
+
+    def _pending_overlaps(self, address: int, size: int) -> bool:
+        if self._pending_address is None:
+            return False
+        pending_end = self._pending_address + self._pending_size
+        return address < pending_end and self._pending_address < address + size
+
+    def _covered_by_pending(self, address: int, size: int) -> bool:
+        return (
+            self._pending_address is not None
+            and address >= self._pending_address
+            and address + size <= self._pending_address + self._pending_size
+        )
+
+    def _retire_pending(self) -> None:
+        if self._pending_address is None:
+            return
+        address, size, data = (
+            self._pending_address,
+            self._pending_size,
+            self._pending_data,
+        )
+        self._pending_address = None
+        if self.dirty_bit_with_tag:
+            line = self.cache.probe(address)
+            if line is None or not line.is_dirty:
+                # First write to a clean line must also update the tag-side
+                # dirty bit: an extra cycle (Section 3.1's third caveat).
+                self.cycles += 1
+                self.extra_dirty_cycles += 1
+        self.cache.write(address, size, data=data)

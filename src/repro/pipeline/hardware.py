@@ -1,0 +1,125 @@
+"""Tables 2 and 3 as structured, testable data, plus error-code arithmetic.
+
+Section 3's qualitative comparison and Section 3.3's hardware-requirement
+symmetry ("the hardware requirements for high performance write-back and
+write-through caches are surprisingly similar") are encoded so examples
+and docs render them, and so the overhead arithmetic in the error-
+tolerance discussion can be checked numerically.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.common.errors import ConfigurationError
+from repro.cache.config import CacheConfig
+from repro.cache.policies import WriteHitPolicy
+
+
+@dataclass(frozen=True)
+class FeatureComparison:
+    """One row of Table 2."""
+
+    feature: str
+    write_through: str
+    write_back: str
+    write_through_wins: bool
+
+
+def compare_hit_policies() -> List[FeatureComparison]:
+    """Table 2: advantages and disadvantages of write-through vs write-back."""
+    return [
+        FeatureComparison(
+            "traffic", "more", "less", write_through_wins=False
+        ),
+        FeatureComparison(
+            "additional buffers",
+            "write buffer needed",
+            "dirty victim buffer needed",
+            write_through_wins=False,
+        ),
+        FeatureComparison(
+            "ability to handle bursty writes",
+            "write buffer can overflow",
+            "OK unless writes miss with dirty victims",
+            write_through_wins=False,
+        ),
+        FeatureComparison(
+            "single-bit soft or hard error safe",
+            "with parity",
+            "only with ECC",
+            write_through_wins=True,
+        ),
+        FeatureComparison(
+            "pipelining",
+            "same as loads if direct-mapped",
+            "doesn't match",
+            write_through_wins=True,
+        ),
+        FeatureComparison(
+            "cycles required per write",
+            "1",
+            "1 to 2 (incl. probe)",
+            write_through_wins=True,
+        ),
+    ]
+
+
+def hardware_requirements(policy: WriteHitPolicy) -> Dict[str, str]:
+    """Table 3: what a high-performance cache of each kind needs."""
+    if policy is WriteHitPolicy.WRITE_BACK:
+        return {
+            "exit traffic buffer": "dirty victim register",
+            "bandwidth improvement": "delayed write register",
+            "other": "cache line dirty bits",
+        }
+    return {
+        "exit traffic buffer": "write buffer",
+        "bandwidth improvement": "write cache",
+        "other": "none",
+    }
+
+
+def error_protection_overhead(scheme: str, data_bits: int = 32) -> float:
+    """Check bits per data bit for the paper's protection schemes.
+
+    - ``"byte-parity"``: one parity bit per byte — 4 bits per 32-bit word
+      (12.5%), corrects any number of single-bit errors in a write-through
+      cache by refetching the line.
+    - ``"word-ecc"``: single-error-correct ECC over the data word — 6 bits
+      per 32 bits (18.75%); required for write-back caches, which hold
+      unique dirty data.
+
+    The paper: "byte parity requires only two-thirds of the overhead of
+    word ECC" — 4/6 exactly.
+    """
+    if data_bits % 8:
+        raise ConfigurationError("data_bits must be a whole number of bytes")
+    if scheme == "byte-parity":
+        return (data_bits // 8) / data_bits
+    if scheme == "word-ecc":
+        # SEC ECC needs k check bits with 2**k >= data_bits + k + 1.
+        check_bits = 1
+        while (1 << check_bits) < data_bits + check_bits + 1:
+            check_bits += 1
+        return check_bits / data_bits
+    raise ConfigurationError(f"unknown protection scheme {scheme!r}")
+
+
+def state_overhead_bits(config: CacheConfig) -> Dict[str, int]:
+    """Per-cache bookkeeping state a configuration implies (bits).
+
+    Used by the Section 3.3 cost-symmetry example: "the write-back cache
+    requires a dirty bit on every cache line, while the write-through
+    cache does not require any dirty bits at all".
+    """
+    lines = config.num_lines
+    dirty_bits = lines if config.is_write_back else 0
+    valid_bits = lines * (config.line_size // config.valid_granularity)
+    subblock_dirty_bits = (
+        lines * config.line_size if config.subblock_dirty_writeback else 0
+    )
+    return {
+        "dirty_bits": dirty_bits,
+        "valid_bits": valid_bits,
+        "subblock_dirty_bits": subblock_dirty_bits,
+    }

@@ -1,0 +1,42 @@
+"""Memory-reference substrate: the streams every experiment consumes.
+
+The paper drives its cache simulator from six benchmarks executed on the
+MultiTitan simulator.  We do not have that hardware or those binaries, so
+this package provides deterministic *synthetic workload models* of the six
+benchmarks (see DESIGN.md section 2 for the substitution argument), plus a
+trace container, trace file I/O, and trace statistics.
+
+Public surface:
+
+- :class:`repro.trace.events.MemRef` — one memory reference.
+- :class:`repro.trace.trace.Trace` — a materialised reference stream.
+- :func:`repro.trace.corpus.load` / :func:`repro.trace.corpus.load_all` —
+  the standard six-benchmark corpus, memoised per process.
+- :data:`repro.trace.workloads.WORKLOADS` — workload registry.
+"""
+
+from repro.trace.events import READ, WRITE, MemRef
+from repro.trace.trace import Trace
+from repro.trace.stats import TraceStats, characterize
+from repro.trace.corpus import BENCHMARK_NAMES, load, load_all
+from repro.trace.io import read_din_trace, read_trace, write_trace
+from repro.trace.filters import downsample, filter_address_range, interleave, split_warmup
+
+__all__ = [
+    "READ",
+    "WRITE",
+    "MemRef",
+    "Trace",
+    "TraceStats",
+    "characterize",
+    "BENCHMARK_NAMES",
+    "load",
+    "load_all",
+    "read_din_trace",
+    "read_trace",
+    "write_trace",
+    "downsample",
+    "filter_address_range",
+    "interleave",
+    "split_warmup",
+]

@@ -1,0 +1,72 @@
+"""The memory-reference event model.
+
+A trace is a sequence of :class:`MemRef` events.  Following the MultiTitan
+architecture the paper simulates (which has no byte stores), references are
+4 B or 8 B and naturally aligned; byte writes would appear as word
+read-modify-writes, and the paper notes byte operations are insignificant
+in its programs, so the workload models never emit them.
+
+``icount`` carries the number of instructions executed up to and including
+the instruction that issued this reference, *since the previous data
+reference*.  Summing ``icount`` over a trace therefore gives the dynamic
+instruction count, which Section 5's transactions-per-instruction charts
+need.
+"""
+
+from dataclasses import dataclass
+
+from repro.common.bitops import is_aligned
+from repro.common.errors import ConfigurationError
+
+#: Access-kind constants.  Plain ints (not an Enum) because the simulator
+#: hot loops compare them millions of times.
+READ = 0
+WRITE = 1
+
+_VALID_SIZES = (4, 8)
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """A single data memory reference.
+
+    Attributes:
+        address: byte address of the access.
+        size: access width in bytes (4 or 8).
+        kind: ``READ`` or ``WRITE``.
+        icount: instructions executed since the previous reference
+            (inclusive of the issuing instruction); at least 1.
+    """
+
+    address: int
+    size: int
+    kind: int
+    icount: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size not in _VALID_SIZES:
+            raise ConfigurationError(
+                f"reference size must be one of {_VALID_SIZES}, got {self.size}"
+            )
+        if not is_aligned(self.address, self.size):
+            raise ConfigurationError(
+                f"address {self.address:#x} is not {self.size}-byte aligned"
+            )
+        if self.address < 0:
+            raise ConfigurationError("addresses must be non-negative")
+        if self.icount < 1:
+            raise ConfigurationError("icount must be >= 1")
+
+    @property
+    def is_write(self) -> bool:
+        """Whether this reference is a store."""
+        return self.kind == WRITE
+
+    @property
+    def is_read(self) -> bool:
+        """Whether this reference is a load."""
+        return self.kind == READ
+
+    def end_address(self) -> int:
+        """One past the last byte touched."""
+        return self.address + self.size

@@ -1,0 +1,110 @@
+"""Trace transformations.
+
+Utilities for slicing and reshaping reference streams before simulation:
+region filtering, downsampling, interleaving (multiprogramming-style),
+and warm-up splitting.  All functions return new :class:`Trace` objects;
+inputs are never mutated.
+"""
+
+from typing import List, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.trace.trace import Trace
+
+
+def filter_address_range(trace: Trace, low: int, high: int) -> Trace:
+    """Keep only references whose first byte falls in ``[low, high)``.
+
+    Instruction counts of dropped references fold into the next kept
+    reference, so per-instruction rates stay meaningful.
+    """
+    if high <= low:
+        raise ConfigurationError("need low < high")
+    addresses: List[int] = []
+    sizes: List[int] = []
+    kinds: List[int] = []
+    icounts: List[int] = []
+    pending = 0
+    for address, size, kind, icount in zip(
+        trace.addresses, trace.sizes, trace.kinds, trace.icounts
+    ):
+        pending += icount
+        if low <= address < high:
+            addresses.append(address)
+            sizes.append(size)
+            kinds.append(kind)
+            icounts.append(pending)
+            pending = 0
+    if pending and icounts:
+        icounts[-1] += pending  # trailing dropped refs still executed
+    return Trace(addresses, sizes, kinds, icounts, name=f"{trace.name}:range")
+
+
+def downsample(trace: Trace, keep_every: int) -> Trace:
+    """Keep every ``keep_every``-th reference (systematic sampling).
+
+    Dropped references' instruction counts fold into the next kept one,
+    preserving the trace's total instruction count.
+    """
+    if keep_every < 1:
+        raise ConfigurationError("keep_every must be >= 1")
+    addresses: List[int] = []
+    sizes: List[int] = []
+    kinds: List[int] = []
+    icounts: List[int] = []
+    pending = 0
+    for index, (address, size, kind, icount) in enumerate(
+        zip(trace.addresses, trace.sizes, trace.kinds, trace.icounts)
+    ):
+        pending += icount
+        if index % keep_every == 0:
+            addresses.append(address)
+            sizes.append(size)
+            kinds.append(kind)
+            icounts.append(pending)
+            pending = 0
+    if pending and icounts:
+        icounts[-1] += pending  # trailing dropped refs still executed
+    return Trace(addresses, sizes, kinds, icounts, name=f"{trace.name}:1/{keep_every}")
+
+
+def interleave(traces: Sequence[Trace], quantum: int, name: str = "") -> Trace:
+    """Round-robin interleave several traces, ``quantum`` references each.
+
+    Models timesharing's effect on a shared cache (cf. the WRL
+    context-switch studies the paper cites); each stream keeps its own
+    addresses and instruction counts.
+    """
+    if quantum < 1:
+        raise ConfigurationError("quantum must be >= 1")
+    if not traces:
+        raise ConfigurationError("need at least one trace")
+    cursors = [0] * len(traces)
+    addresses: List[int] = []
+    sizes: List[int] = []
+    kinds: List[int] = []
+    icounts: List[int] = []
+    live = True
+    while live:
+        live = False
+        for stream_index, trace in enumerate(traces):
+            start = cursors[stream_index]
+            if start >= len(trace):
+                continue
+            live = True
+            stop = min(start + quantum, len(trace))
+            addresses.extend(trace.addresses[start:stop])
+            sizes.extend(trace.sizes[start:stop])
+            kinds.extend(trace.kinds[start:stop])
+            icounts.extend(trace.icounts[start:stop])
+            cursors[stream_index] = stop
+    label = name or "+".join(t.name for t in traces)
+    return Trace(addresses, sizes, kinds, icounts, name=f"{label}:q{quantum}")
+
+
+def split_warmup(trace: Trace, fraction: float) -> Tuple[Trace, Trace]:
+    """Split into (warm-up, measurement) pieces at ``fraction``."""
+    if not 0.0 < fraction < 1.0:
+        raise ConfigurationError("fraction must be in (0, 1)")
+    cut = int(len(trace) * fraction)
+    return trace[:cut], trace[cut:]

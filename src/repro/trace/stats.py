@@ -1,0 +1,96 @@
+"""Trace characterisation (reproduces the paper's Table 1).
+
+:func:`characterize` computes the same columns Table 1 reports — dynamic
+instructions, data reads, data writes, total references — plus a few
+derived quantities (reads-per-write, instructions-per-reference, footprint)
+that the workload-model tests assert against.
+"""
+
+from dataclasses import dataclass
+
+from repro.common.render import format_table
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics for one trace (one row of Table 1)."""
+
+    name: str
+    instruction_count: int
+    read_count: int
+    write_count: int
+    footprint_bytes: int
+
+    @property
+    def ref_count(self) -> int:
+        """Data reads plus data writes."""
+        return self.read_count + self.write_count
+
+    @property
+    def total_refs(self) -> int:
+        """Table 1's 'total refs.': instruction fetches plus data refs.
+
+        The paper counts one instruction fetch per dynamic instruction.
+        """
+        return self.instruction_count + self.ref_count
+
+    @property
+    def reads_per_write(self) -> float:
+        """Load/store ratio (about 2.4:1 over the paper's whole suite)."""
+        if self.write_count == 0:
+            return float("inf")
+        return self.read_count / self.write_count
+
+    @property
+    def instructions_per_ref(self) -> float:
+        """Dynamic instructions per data reference."""
+        if self.ref_count == 0:
+            return float("inf")
+        return self.instruction_count / self.ref_count
+
+    @property
+    def write_fraction(self) -> float:
+        """Fraction of data references that are stores."""
+        if self.ref_count == 0:
+            return 0.0
+        return self.write_count / self.ref_count
+
+
+def characterize(trace: Trace) -> TraceStats:
+    """Compute :class:`TraceStats` for ``trace``."""
+    return TraceStats(
+        name=trace.name,
+        instruction_count=trace.instruction_count,
+        read_count=trace.read_count,
+        write_count=trace.write_count,
+        footprint_bytes=trace.touched_lines(16) * 16,
+    )
+
+
+def format_table1(stats_list) -> str:
+    """Render a list of :class:`TraceStats` in the layout of Table 1."""
+    rows = []
+    totals = [0, 0, 0, 0]
+    for stats in stats_list:
+        rows.append(
+            [
+                stats.name,
+                stats.instruction_count,
+                stats.read_count,
+                stats.write_count,
+                stats.total_refs,
+                f"{stats.reads_per_write:.2f}",
+                f"{stats.footprint_bytes / 1024:.0f}KB",
+            ]
+        )
+        totals[0] += stats.instruction_count
+        totals[1] += stats.read_count
+        totals[2] += stats.write_count
+        totals[3] += stats.total_refs
+    rows.append(["total", totals[0], totals[1], totals[2], totals[3], "", ""])
+    return format_table(
+        ["program", "dyn. instr.", "data reads", "data writes", "total refs", "rd/wr", "footprint"],
+        rows,
+        title="Table 1: Test program characteristics (synthetic models)",
+    )

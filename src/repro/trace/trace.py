@@ -1,0 +1,169 @@
+"""Materialised reference streams.
+
+A :class:`Trace` stores a reference stream as four parallel Python lists of
+ints.  That representation was chosen deliberately: the simulator hot loops
+iterate these lists with ``zip``, which is substantially faster than either
+constructing a ``MemRef`` per event or element-indexing numpy arrays from
+Python.  Numpy views are available via :meth:`Trace.to_arrays` for
+vectorised analyses.
+"""
+
+from typing import Iterable, Iterator, List, Optional
+
+import numpy as np
+
+from repro.common.errors import SimulationError
+from repro.trace.events import READ, WRITE, MemRef
+
+
+class Trace:
+    """An immutable-by-convention sequence of memory references."""
+
+    __slots__ = ("name", "addresses", "sizes", "kinds", "icounts")
+
+    def __init__(
+        self,
+        addresses: List[int],
+        sizes: List[int],
+        kinds: List[int],
+        icounts: List[int],
+        name: str = "",
+    ) -> None:
+        lengths = {len(addresses), len(sizes), len(kinds), len(icounts)}
+        if len(lengths) != 1:
+            raise SimulationError("trace component lists have differing lengths")
+        self.name = name
+        self.addresses = addresses
+        self.sizes = sizes
+        self.kinds = kinds
+        self.icounts = icounts
+
+    @classmethod
+    def from_refs(cls, refs: Iterable[MemRef], name: str = "") -> "Trace":
+        """Build a trace by draining an iterable of :class:`MemRef`."""
+        addresses: List[int] = []
+        sizes: List[int] = []
+        kinds: List[int] = []
+        icounts: List[int] = []
+        for ref in refs:
+            addresses.append(ref.address)
+            sizes.append(ref.size)
+            kinds.append(ref.kind)
+            icounts.append(ref.icount)
+        return cls(addresses, sizes, kinds, icounts, name=name)
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    def __iter__(self) -> Iterator[MemRef]:
+        for address, size, kind, icount in zip(
+            self.addresses, self.sizes, self.kinds, self.icounts
+        ):
+            yield MemRef(address, size, kind, icount)
+
+    def __getitem__(self, index) -> "MemRef":
+        if isinstance(index, slice):
+            return Trace(
+                self.addresses[index],
+                self.sizes[index],
+                self.kinds[index],
+                self.icounts[index],
+                name=self.name,
+            )
+        return MemRef(
+            self.addresses[index],
+            self.sizes[index],
+            self.kinds[index],
+            self.icounts[index],
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace(name={self.name!r}, refs={len(self)}, "
+            f"reads={self.read_count}, writes={self.write_count}, "
+            f"instructions={self.instruction_count})"
+        )
+
+    @property
+    def read_count(self) -> int:
+        """Number of load references."""
+        return self.kinds.count(READ)
+
+    @property
+    def write_count(self) -> int:
+        """Number of store references."""
+        return self.kinds.count(WRITE)
+
+    @property
+    def instruction_count(self) -> int:
+        """Total dynamic instructions modelled by this trace."""
+        return sum(self.icounts)
+
+    @property
+    def byte_count(self) -> int:
+        """Total bytes transferred by all references."""
+        return sum(self.sizes)
+
+    def to_arrays(self) -> dict:
+        """Export as numpy arrays for vectorised analysis."""
+        return {
+            "addresses": np.asarray(self.addresses, dtype=np.uint64),
+            "sizes": np.asarray(self.sizes, dtype=np.uint8),
+            "kinds": np.asarray(self.kinds, dtype=np.uint8),
+            "icounts": np.asarray(self.icounts, dtype=np.uint32),
+        }
+
+    def writes_only(self) -> "Trace":
+        """A sub-trace holding only store references, preserving order.
+
+        ``icount`` values of skipped loads are folded into the following
+        store so instruction totals are preserved; the write-buffer and
+        write-cache models (Section 3) consume these.
+        """
+        addresses: List[int] = []
+        sizes: List[int] = []
+        kinds: List[int] = []
+        icounts: List[int] = []
+        pending_icount = 0
+        for address, size, kind, icount in zip(
+            self.addresses, self.sizes, self.kinds, self.icounts
+        ):
+            pending_icount += icount
+            if kind == WRITE:
+                addresses.append(address)
+                sizes.append(size)
+                kinds.append(WRITE)
+                icounts.append(pending_icount)
+                pending_icount = 0
+        return Trace(addresses, sizes, kinds, icounts, name=f"{self.name}:writes")
+
+    def concat(self, other: "Trace", name: Optional[str] = None) -> "Trace":
+        """Concatenate two traces (e.g. to model phase sequences)."""
+        return Trace(
+            self.addresses + other.addresses,
+            self.sizes + other.sizes,
+            self.kinds + other.kinds,
+            self.icounts + other.icounts,
+            name=name if name is not None else f"{self.name}+{other.name}",
+        )
+
+    def touched_lines(self, line_size: int) -> int:
+        """Number of distinct cache lines of ``line_size`` bytes touched.
+
+        This is the compulsory-miss footprint, used by tests to verify the
+        workload models' working-set sizes.
+        """
+        shift = line_size.bit_length() - 1
+        lines = set()
+        for address, size in zip(self.addresses, self.sizes):
+            lines.add(address >> shift)
+            last = (address + size - 1) >> shift
+            if last != address >> shift:
+                lines.add(last)
+        return len(lines)
+
+    def address_span(self) -> int:
+        """Bytes between the lowest and highest touched addresses."""
+        if not self.addresses:
+            return 0
+        return max(self.addresses) + max(self.sizes) - min(self.addresses)

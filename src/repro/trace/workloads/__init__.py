@@ -1,0 +1,43 @@
+"""Synthetic models of the paper's six benchmarks (Table 1).
+
+Each workload is a deterministic generator of memory references whose
+*structure* (working-set sizes, read/write ratios, locality of reads and of
+writes, producer/consumer phase behaviour) models what the paper reports
+for the corresponding program.  See each module's docstring for the
+paper-derived behavioural contract it implements, and DESIGN.md for the
+substitution rationale.
+"""
+
+from repro.trace.workloads.base import RefBuilder, Workload
+from repro.trace.workloads.blocks import Synthetic
+from repro.trace.workloads.ccom import Ccom
+from repro.trace.workloads.grr import Grr
+from repro.trace.workloads.linpack import Linpack
+from repro.trace.workloads.linpack_blocked import LinpackBlocked
+from repro.trace.workloads.liver import Liver
+from repro.trace.workloads.met import Met
+from repro.trace.workloads.yacc import Yacc
+
+#: Registry of the standard corpus, in the paper's Table 1 order.
+WORKLOADS = {
+    workload_class.name: workload_class
+    for workload_class in (Ccom, Grr, Yacc, Met, Linpack, Liver)
+}
+
+#: Workloads beyond the Table 1 corpus (extension studies).
+EXTRA_WORKLOADS = {LinpackBlocked.name: LinpackBlocked}
+
+__all__ = [
+    "RefBuilder",
+    "Workload",
+    "Synthetic",
+    "Ccom",
+    "Grr",
+    "Yacc",
+    "Met",
+    "Linpack",
+    "LinpackBlocked",
+    "Liver",
+    "WORKLOADS",
+    "EXTRA_WORKLOADS",
+]

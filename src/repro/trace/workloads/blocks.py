@@ -1,0 +1,215 @@
+"""Reusable access-pattern blocks and a configurable synthetic workload.
+
+The six benchmark models are hand-crafted; this module exposes the
+underlying pattern vocabulary so users can compose their own workloads —
+streams, strided sweeps, Zipf-weighted hot sets, pointer chasing, and
+stack churn — either directly against a :class:`RefBuilder` or through
+the declarative :class:`Synthetic` workload.
+"""
+
+import random
+from typing import Dict, List, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.trace.workloads.base import DOUBLE, RefBuilder, WORD, Workload
+
+
+def stream_read(builder: RefBuilder, base: int, count: int, size: int = DOUBLE) -> None:
+    """Unit-stride load stream (vector-style input)."""
+    builder.seq_read(base, count, size)
+
+
+def stream_write(builder: RefBuilder, base: int, count: int, size: int = DOUBLE) -> None:
+    """Unit-stride store stream (vector-style output): fresh data."""
+    builder.seq_write(base, count, size)
+
+
+def strided_sweep(
+    builder: RefBuilder, base: int, count: int, stride: int, write_fraction: float,
+    rng: random.Random, size: int = WORD,
+) -> None:
+    """Fixed-stride sweep with a probabilistic store mix (matrix columns)."""
+    for index in range(count):
+        address = base + index * stride
+        if rng.random() < write_fraction:
+            builder.write(address, size)
+        else:
+            builder.read(address, size)
+
+
+def zipf_hot_set(
+    builder: RefBuilder, base: int, slots: int, count: int, rng: random.Random,
+    write_fraction: float = 0.5, skew: float = 1.2, size: int = WORD,
+) -> None:
+    """Zipf-weighted accesses over a table of ``slots`` words.
+
+    Models counters/symbol tables: a few slots absorb most traffic, which
+    is where write-back caches and write caches earn their keep.
+    """
+    if slots < 1:
+        raise ConfigurationError("need at least one slot")
+    weights = [1.0 / (rank + 1) ** skew for rank in range(slots)]
+    chosen = rng.choices(range(slots), weights=weights, k=count)
+    for slot in chosen:
+        address = base + slot * size
+        if rng.random() < write_fraction:
+            builder.write(address, size)
+        else:
+            builder.read(address, size)
+
+
+def pointer_chase(
+    builder: RefBuilder, base: int, nodes: int, hops: int, rng: random.Random,
+    node_bytes: int = 16, update_fraction: float = 0.1,
+) -> None:
+    """Random pointer chasing over a node pool (linked structures).
+
+    Each hop reads a node's link word; occasionally a node is updated
+    (read-modify-write of a payload word).
+    """
+    node = rng.randrange(nodes)
+    for _ in range(hops):
+        address = base + node * node_bytes
+        builder.read(address, WORD)
+        if rng.random() < update_fraction:
+            builder.rmw(address + WORD, WORD)
+        node = (node * 1103515245 + 12345) % nodes  # deterministic "pointer"
+
+
+def register_window_overflow(
+    builder: RefBuilder, save_area: int, windows: int, window_words: int = 32,
+) -> None:
+    """A register-window overflow: a long burst of back-to-back stores.
+
+    Section 3: "When the window stack overflows, some of the register
+    window frames must be dumped to memory.  This can result in a series
+    of 30 or more sequential stores."  The matching underflow reads the
+    frames back.  The paper's own compilers use global register
+    allocation and avoid this; the burstiness bench injects it to
+    reproduce Table 2's bursty-writes comparison.
+    """
+    for window in range(windows):
+        base = save_area + window * window_words * WORD
+        for word in range(window_words):
+            builder.write(base + word * WORD, WORD)
+
+
+def register_window_underflow(
+    builder: RefBuilder, save_area: int, windows: int, window_words: int = 32,
+) -> None:
+    """The matching restore burst: sequential loads of saved windows."""
+    for window in range(windows):
+        base = save_area + window * window_words * WORD
+        for word in range(window_words):
+            builder.read(base + word * WORD, WORD)
+
+
+def stack_churn(
+    builder: RefBuilder, stack_top: int, depth: int, frame_words: int,
+) -> int:
+    """A call chain ``depth`` deep followed by the matching returns.
+
+    Returns the (unchanged) stack top; models save/restore bursts, the
+    burstiness discussion of Section 3.
+    """
+    tops = [stack_top]
+    for _ in range(depth):
+        tops.append(builder.frame_enter(tops[-1], frame_words))
+    for _ in range(depth):
+        tops.pop()
+        builder.frame_exit(tops[-1] - frame_words * WORD, frame_words)
+    return stack_top
+
+
+#: Phase-spec vocabulary for :class:`Synthetic`.
+_PHASE_KINDS = ("stream_read", "stream_write", "stream_copy", "zipf", "chase", "stack")
+
+
+class Synthetic(Workload):
+    """A workload assembled from declarative phase specifications.
+
+    ``phases`` is a sequence of dicts, each with a ``kind`` from
+    ``stream_read | stream_write | stream_copy | zipf | chase | stack``
+    plus kind-specific parameters (see the block functions above).  The
+    schedule repeats ``rounds`` times (scaled by ``scale``).
+
+    Example::
+
+        Synthetic(phases=[
+            {"kind": "stream_copy", "bytes": 32768},
+            {"kind": "zipf", "slots": 512, "count": 2000},
+        ])
+    """
+
+    name = "synthetic"
+    description = "user-defined phase schedule"
+    instructions_per_ref = 2.5
+    paper_read_write_ratio = 2.4
+
+    def __init__(
+        self,
+        phases: Sequence[Dict],
+        rounds: int = 4,
+        scale: float = 1.0,
+        seed: int = 1991,
+        base_address: int = 0x0400_0000,
+    ) -> None:
+        super().__init__(scale=scale, seed=seed)
+        if not phases:
+            raise ConfigurationError("need at least one phase")
+        for phase in phases:
+            if phase.get("kind") not in _PHASE_KINDS:
+                raise ConfigurationError(
+                    f"unknown phase kind {phase.get('kind')!r}; "
+                    f"expected one of {_PHASE_KINDS}"
+                )
+        self.phases = list(phases)
+        self.rounds = rounds
+        self.base_address = base_address
+
+    def _emit(self, builder: RefBuilder, rng: random.Random) -> None:
+        region = self.base_address
+        regions: List[int] = []
+        for phase in self.phases:
+            regions.append(region)
+            region += 2 * phase.get("bytes", phase.get("slots", 1024) * 16) + 4096
+
+        for _ in range(self._scaled(self.rounds)):
+            for phase, base in zip(self.phases, regions):
+                kind = phase["kind"]
+                if kind == "stream_read":
+                    stream_read(builder, base, phase.get("bytes", 8192) // DOUBLE)
+                elif kind == "stream_write":
+                    stream_write(builder, base, phase.get("bytes", 8192) // DOUBLE)
+                elif kind == "stream_copy":
+                    count = phase.get("bytes", 8192) // DOUBLE
+                    destination = base + phase.get("bytes", 8192) + 2048
+                    for index in range(count):
+                        builder.read(base + index * DOUBLE, DOUBLE)
+                        builder.write(destination + index * DOUBLE, DOUBLE)
+                elif kind == "zipf":
+                    zipf_hot_set(
+                        builder,
+                        base,
+                        phase.get("slots", 256),
+                        phase.get("count", 1000),
+                        rng,
+                        write_fraction=phase.get("write_fraction", 0.5),
+                        skew=phase.get("skew", 1.2),
+                    )
+                elif kind == "chase":
+                    pointer_chase(
+                        builder,
+                        base,
+                        phase.get("nodes", 512),
+                        phase.get("hops", 1000),
+                        rng,
+                        update_fraction=phase.get("update_fraction", 0.1),
+                    )
+                elif kind == "stack":
+                    stack_churn(
+                        builder,
+                        base + 16 * 1024,
+                        phase.get("depth", 8),
+                        phase.get("frame_words", 8),
+                    )

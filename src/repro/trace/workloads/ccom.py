@@ -1,0 +1,150 @@
+"""Synthetic model of ``ccom`` (the C compiler front end).
+
+Behavioural contract drawn from the paper:
+
+- "write-validate would be useful for a compiler if it has a number of
+  sequential passes, each one reading the data structure written by the
+  last pass and writing a different one" — ccom (with liver) benefits the
+  most from write-validate (Fig. 14), so the model is organised as
+  producer/consumer passes over IR buffers that are written before they are
+  read.
+- Relatively write-rich mix: Table 1 gives 8.3 M reads / 5.7 M writes
+  (1.46 reads per write), the lowest ratio in the suite.
+- Moderate overall write locality (Figs 1-2 place ccom mid-pack): new
+  buffer data is written once per pass, while stack frames and symbol-table
+  entries are re-written at the same addresses call after call.
+
+Model: each "function" compiled goes through lex -> parse -> optimise ->
+emit phases.  Lex reads source words and writes 8 B token records into
+buffer A; parse reads tokens, probes/updates a hashed symbol table, and
+writes 16 B node records into buffer B; optimise reads nodes and rewrites
+a condensed IR into buffer A; emit reads the IR and writes code words.
+Token/node field stores are issued partly out of address order (struct
+fields are not written low-to-high), which is what keeps a 1-entry write
+cache far less effective than a 5-entry one (Figs 7-8).
+"""
+
+import random
+
+from repro.trace.workloads.base import RefBuilder, Workload, WORD
+
+SOURCE_BASE = 0x0030_0000
+SOURCE_BYTES = 16 * 1024
+BUFFER_A_BASE = 0x0031_0000
+BUFFER_A_BYTES = 24 * 1024
+BUFFER_B_BASE = 0x0032_0000
+BUFFER_B_BYTES = 24 * 1024
+SYMTAB_BASE = 0x0033_0000
+SYMTAB_BYTES = 16 * 1024
+CODE_BASE = 0x0034_0000
+CODE_BYTES = 32 * 1024
+STACK_TOP = 0x0035_1000  # 4 KB stack region below this address
+
+#: Lexer/parser communication globals (yylval, current token, parser
+#: state) — the same few words are re-written for every token, the way
+#: real front ends do.
+GLOBALS_BASE = 0x0036_0000
+
+TOKENS_PER_UNIT = 120
+TOKEN_BYTES = 8  # two words per token record
+NODE_BYTES = 16  # four words per node record
+_BASE_UNITS = 110
+
+#: Field-store orders for 16 B node records: mostly ascending, sometimes
+#: shuffled the way struct initialisation by field name produces.
+_NODE_FIELD_ORDERS = ((0, 1, 2, 3), (0, 2, 1, 3), (2, 3, 0, 1), (1, 0, 3, 2))
+
+
+class Ccom(Workload):
+    """Multi-pass compiler: producer/consumer buffers plus symbol table."""
+
+    name = "ccom"
+    description = "C compiler"
+    instructions_per_ref = 2.25  # Table 1: 31.5M instr / 14.0M data refs
+    paper_read_write_ratio = 1.46  # 8.3M reads / 5.7M writes
+
+    def _emit(self, builder: RefBuilder, rng: random.Random) -> None:
+        units = self._scaled(_BASE_UNITS)
+        stack_top = STACK_TOP
+        code_cursor = 0
+
+        for unit in range(units):
+            source_offset = (unit * TOKENS_PER_UNIT * WORD) % SOURCE_BYTES
+            token_offset = (unit * TOKENS_PER_UNIT * TOKEN_BYTES) % BUFFER_A_BYTES
+            node_count = TOKENS_PER_UNIT // 4
+            node_offset = (unit * node_count * NODE_BYTES) % BUFFER_B_BYTES
+
+            stack_top = builder.frame_enter(stack_top, saved_words=8)
+            counter_slot = stack_top  # loop counter spilled to the frame
+
+            # --- lex: read source, write token records -----------------------
+            for token in range(TOKENS_PER_UNIT):
+                builder.read(SOURCE_BASE + (source_offset + token * WORD) % SOURCE_BYTES)
+                if rng.random() < 0.5:
+                    # Lookahead peek at the next source word.
+                    builder.read(
+                        SOURCE_BASE + (source_offset + (token + 1) * WORD) % SOURCE_BYTES
+                    )
+                # yylval: the same global is re-written for every token.
+                builder.write(GLOBALS_BASE)
+                token_base = BUFFER_A_BASE + (
+                    (token_offset + token * TOKEN_BYTES) % BUFFER_A_BYTES
+                )
+                if rng.random() < 0.25:
+                    builder.write(token_base + WORD)
+                    builder.write(token_base)
+                else:
+                    builder.write(token_base)
+                    builder.write(token_base + WORD)
+                if token % 8 == 7:
+                    builder.rmw(counter_slot)  # spilled counter update
+
+            # --- parse: read tokens, probe symbol table, write nodes ---------
+            for token in range(TOKENS_PER_UNIT):
+                token_base = BUFFER_A_BASE + (
+                    (token_offset + token * TOKEN_BYTES) % BUFFER_A_BYTES
+                )
+                builder.read(token_base)
+                builder.read(token_base + WORD)
+                # Parser state variable, updated on every shift/reduce.
+                builder.write(GLOBALS_BASE + WORD)
+                # Three hash-chain probes into the symbol table.
+                bucket = rng.randrange(SYMTAB_BYTES // WORD) * WORD
+                builder.read(SYMTAB_BASE + bucket)
+                builder.read(SYMTAB_BASE + (bucket + 16 * WORD) % SYMTAB_BYTES)
+                builder.read(SYMTAB_BASE + (bucket + 32 * WORD) % SYMTAB_BYTES)
+                if token % 4 == 3:
+                    # Insert/update a symbol entry and emit a parse node.
+                    builder.rmw(SYMTAB_BASE + bucket)
+                    node_base = BUFFER_B_BASE + (
+                        (node_offset + (token // 4) * NODE_BYTES) % BUFFER_B_BYTES
+                    )
+                    for field in rng.choice(_NODE_FIELD_ORDERS):
+                        builder.write(node_base + field * WORD)
+
+            # --- optimise: read nodes, write condensed IR back to buffer A ---
+            ir_offset = token_offset  # reuse the token area for condensed IR
+            for node in range(node_count):
+                node_base = BUFFER_B_BASE + (
+                    (node_offset + node * NODE_BYTES) % BUFFER_B_BYTES
+                )
+                for field in range(4):
+                    builder.read(node_base + field * WORD)
+                ir_base = BUFFER_A_BASE + ((ir_offset + node * TOKEN_BYTES) % BUFFER_A_BYTES)
+                builder.write(ir_base)
+                builder.write(ir_base + WORD)
+
+            # --- emit: read IR, write code words ------------------------------
+            for node in range(node_count):
+                ir_base = BUFFER_A_BASE + ((ir_offset + node * TOKEN_BYTES) % BUFFER_A_BYTES)
+                builder.read(ir_base)
+                builder.read(ir_base + WORD)
+                # Instruction-template lookup for this node's opcode.
+                template = rng.randrange(SOURCE_BYTES // 64) * 64
+                builder.read(SOURCE_BASE + template)
+                builder.read(SOURCE_BASE + template + WORD)
+                for _ in range(3):
+                    builder.write(CODE_BASE + code_cursor % CODE_BYTES)
+                    code_cursor += WORD
+
+            stack_top = builder.frame_exit(stack_top, restored_words=8)

@@ -1,0 +1,100 @@
+"""Synthetic model of ``grr`` (printed-circuit-board CAD tool).
+
+Behavioural contract drawn from the paper:
+
+- The best write locality in the suite (Fig. 2 shows >= 80% write-traffic
+  reduction from a write-back cache): a small channel-density array is
+  read-modify-written over and over as segments are placed.
+- Mix: Table 1 gives 42.1 M reads / 17.1 M writes (2.46 reads per write),
+  and grr is by far the longest program (134 M instructions), so it
+  dominates suite averages in the paper; we keep only the ratios.
+- Working set dominated by a 48 KB routing grid plus an 8 KB channel
+  density array; comfortably cacheable at 64 KB.
+
+Model: channel routing.  Each wiring segment reads its record, scans the
+density array along a channel span, then places the segment: for each
+position covered it read-modify-writes the density word and
+read-modify-writes the corresponding grid cell.
+"""
+
+import random
+
+from repro.trace.workloads.base import RefBuilder, Workload, WORD
+
+GRID_BASE = 0x0060_0000
+GRID_BYTES = 32 * 1024
+DENSITY_BASE = 0x0061_0000
+DENSITY_BYTES = 8 * 1024
+CHANNELS = 32
+CHANNEL_BYTES = DENSITY_BYTES // CHANNELS  # 256 B of density per channel
+
+SEGMENTS_BASE = 0x0062_0000
+SEGMENTS_BYTES = 12 * 1024
+
+#: Ring of recently routed wire records (conflict checks re-read these).
+OUTPUT_BASE = 0x0064_0000
+OUTPUT_BYTES = 8 * 1024
+_OUTPUT_WORDS = 4
+
+SCALARS_BASE = 0x0063_0000
+HOT_SCALARS = 6
+
+_SCAN_POSITIONS = 36
+_PLACE_POSITIONS = 12
+_BASE_SEGMENTS = 1600
+
+
+class Grr(Workload):
+    """Channel routing with a heavily re-written density array."""
+
+    name = "grr"
+    description = "PC board CAD tool"
+    instructions_per_ref = 2.27  # Table 1: 134.2M instr / 59.2M data refs
+    paper_read_write_ratio = 2.46  # 42.1M reads / 17.1M writes
+
+    def _emit(self, builder: RefBuilder, rng: random.Random) -> None:
+        segments = self._scaled(_BASE_SEGMENTS)
+        segment_cursor = 0
+
+        for segment in range(segments):
+            # Read the 3-word segment record.
+            for _ in range(3):
+                builder.read(SEGMENTS_BASE + segment_cursor % SEGMENTS_BYTES)
+                segment_cursor += WORD
+
+            channel = rng.randrange(CHANNELS)
+            channel_base = DENSITY_BASE + channel * CHANNEL_BYTES
+            start = rng.randrange(CHANNEL_BYTES // WORD - _SCAN_POSITIONS)
+
+            # Scan the density profile along the candidate span.
+            for position in range(_SCAN_POSITIONS):
+                builder.read(channel_base + (start + position) * WORD)
+
+            # Place the segment: bump density and mark grid cells.  The
+            # grid track lies within the channel's band of the grid (a few
+            # tracks per channel), so placements for a hot channel re-touch
+            # nearby grid lines instead of sweeping the whole 48 KB grid.
+            place_start = start + rng.randrange(_SCAN_POSITIONS - _PLACE_POSITIONS)
+            band = channel * (GRID_BYTES // CHANNELS)
+            track = rng.randrange((GRID_BYTES // CHANNELS) // CHANNEL_BYTES)
+            grid_row = band + track * CHANNEL_BYTES
+            for position in range(_PLACE_POSITIONS):
+                builder.rmw(channel_base + (place_start + position) * WORD)
+                builder.rmw(GRID_BASE + (grid_row + (place_start + position) * WORD) % GRID_BYTES)
+
+            # Append the routed wire to the recent-routes ring.
+            for word in range(_OUTPUT_WORDS):
+                offset = (segment * _OUTPUT_WORDS + word) * WORD
+                builder.write(OUTPUT_BASE + offset % OUTPUT_BYTES)
+
+            # Conflict check against recently routed wires re-reads a
+            # recorded entry (written data read soon after being written).
+            if segment % 4 == 3 and segment:
+                recent = segment - 1 - rng.randrange(min(segment, 6))
+                for word in range(_OUTPUT_WORDS):
+                    offset = (recent * _OUTPUT_WORDS + word) * WORD
+                    builder.read(OUTPUT_BASE + offset % OUTPUT_BYTES)
+
+            # Hot bookkeeping scalars.
+            for _ in range(3):
+                builder.rmw(SCALARS_BASE + rng.randrange(HOT_SCALARS) * WORD)

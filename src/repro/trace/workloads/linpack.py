@@ -1,0 +1,77 @@
+"""Synthetic model of ``linpack`` (numeric, 100x100).
+
+Behavioural contract drawn from the paper:
+
+- Double-precision (8 B) data throughout, unit stride ("the numeric
+  benchmarks which were simulated have unit stride"; Fig. 24 shows almost
+  100% of bytes dirty in dirty victims for 8 B lines).
+- Working set is a 100x100 matrix of doubles (80 KB): larger than 64 KB
+  caches, resident in 128 KB ones.
+- The inner loop is saxpy/daxpy: "loads a matrix row and adds to it another
+  row multiplied by a scalar.  The result of this computation is placed
+  into the old row" — i.e. read-modify-write, so "almost all writes are
+  preceded by reads of the data" and write-validate offers little benefit.
+- "lines that are written get replaced in the cache before being written
+  again" for caches below the working set; with 4 B and 8 B lines each line
+  receives exactly one (8 B) write before replacement, and each doubling of
+  line size beyond 8 B halves the remaining write traffic.
+- Reads outnumber writes roughly 2.3:1 (Table 1: 28.1 M reads, 12.1 M
+  writes); the daxpy loop's two loads per store matches this, topped up by
+  pivot-search loads.
+
+The model performs Gaussian elimination daxpy sweeps over the full 80 KB
+matrix, sub-sampling the eliminated rows (not the matrix size) to scale
+down the reference count.
+"""
+
+import random
+
+from repro.trace.workloads.base import DOUBLE, RefBuilder, Workload
+
+#: Matrix geometry: 100x100 doubles = 80 KB, matching the paper's workload.
+MATRIX_ORDER = 100
+MATRIX_BASE = 0x0010_0000
+ROW_BYTES = MATRIX_ORDER * DOUBLE
+
+#: Scalars that live in memory (pivot value, reciprocal) — a small hot set.
+SCALARS_BASE = 0x0018_0000
+
+#: Pivot sub-sampling factor at scale=1.0.  The full elimination touches
+#: ~N^3/3 elements (~1M references); we keep every k-th elimination step
+#: *complete* — a full daxpy sweep over all remaining rows — so each
+#: step's footprint is the whole remaining sub-matrix (what makes lines
+#: "replaced in the cache before being written again" below the working
+#: set size), and only the number of steps is scaled.
+_BASE_PIVOT_STEP = 7
+
+
+class Linpack(Workload):
+    """Gaussian elimination with unit-stride daxpy inner loops."""
+
+    name = "linpack"
+    description = "numeric, 100x100"
+    instructions_per_ref = 3.60  # Table 1: 144.8M instr / 40.2M data refs
+    paper_read_write_ratio = 2.32  # 28.1M reads / 12.1M writes
+
+    def _emit(self, builder: RefBuilder, rng: random.Random) -> None:
+        pivot_step = max(1, int(round(_BASE_PIVOT_STEP / self.scale)))
+        start = rng.randrange(pivot_step)
+
+        def element(row: int, col: int) -> int:
+            return MATRIX_BASE + row * ROW_BYTES + col * DOUBLE
+
+        for k in range(start, MATRIX_ORDER - 1, pivot_step):
+            # Partial pivot search: scan column k below the diagonal.
+            for i in range(k, MATRIX_ORDER):
+                builder.read(element(i, k), DOUBLE)
+            # Store the pivot reciprocal to a memory scalar (register spill).
+            builder.write(SCALARS_BASE, DOUBLE)
+
+            # daxpy update of every row below the pivot row:
+            #   a[i][j] -= m * a[k][j]   for j in k..N-1
+            for i in range(k + 1, MATRIX_ORDER):
+                builder.read(SCALARS_BASE, DOUBLE)
+                for j in range(k, MATRIX_ORDER):
+                    builder.read(element(k, j), DOUBLE)
+                    builder.read(element(i, j), DOUBLE)
+                    builder.write(element(i, j), DOUBLE)

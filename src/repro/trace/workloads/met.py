@@ -1,0 +1,103 @@
+"""Synthetic model of ``met`` (printed-circuit-board CAD tool).
+
+Behavioural contract drawn from the paper:
+
+- Strong write locality (>= 80% of writes land on already-dirty lines at
+  moderate cache sizes, Fig. 2): maze-routing walks repeatedly
+  read-modify-write nearby grid cells, and horizontally adjacent cells
+  share cache lines.
+- Mix: Table 1 gives 36.4 M reads / 13.8 M writes (2.64 reads per write);
+  each routing step examines more cells than it updates.
+- Large but cacheable working set: a 64 KB routing grid plus a 16 KB net
+  list; no single huge streaming structure, so met behaves well in
+  moderate caches, unlike the numeric codes.
+
+Model: a 128x128 grid of 4 B cost cells.  For each net, the router reads
+the net record, then performs a locality-biased random walk from the net's
+pin, reading the current cell and one or two neighbours and writing the
+updated cost back.  A tiny set of hot bookkeeping scalars is
+read-modify-written per net.
+"""
+
+import random
+
+from repro.trace.workloads.base import RefBuilder, Workload, WORD
+
+GRID_BASE = 0x0050_0000
+GRID_DIM = 128  # 128 x 128 cells x 4 B = 64 KB
+GRID_CELLS = GRID_DIM * GRID_DIM
+
+NETS_BASE = 0x0052_0000
+NETS_BYTES = 16 * 1024
+
+#: Ring of completed-route records: the write-miss stream that makes
+#: met's stores miss like its loads; rip-up checks re-read recent entries.
+RESULTS_BASE = 0x0054_0000
+RESULTS_BYTES = 16 * 1024
+
+SCALARS_BASE = 0x0053_0000
+HOT_SCALARS = 4
+
+_WALK_STEPS = 36
+_RESULT_WORDS = 8
+_BASE_NETS = 1150
+
+#: Walk moves: mostly +-1 in x (same or adjacent cache line), sometimes
+#: +-1 in y (jump a whole 512 B row).
+_MOVES = ((1, 0), (-1, 0), (1, 0), (-1, 0), (0, 1), (0, -1))
+
+
+class Met(Workload):
+    """Maze routing over a cost grid with locality-biased walks."""
+
+    name = "met"
+    description = "PC board CAD tool"
+    instructions_per_ref = 1.98  # Table 1: 99.4M instr / 50.2M data refs
+    paper_read_write_ratio = 2.64  # 36.4M reads / 13.8M writes
+
+    def _emit(self, builder: RefBuilder, rng: random.Random) -> None:
+        nets = self._scaled(_BASE_NETS)
+
+        def cell_address(x: int, y: int) -> int:
+            return GRID_BASE + (y * GRID_DIM + x) * WORD
+
+        net_cursor = 0
+        for net in range(nets):
+            # Read the 4-word net record (sequential through the net list).
+            for _ in range(4):
+                builder.read(NETS_BASE + net_cursor % NETS_BYTES)
+                net_cursor += WORD
+
+            # Locality-biased walk updating grid costs.
+            x = rng.randrange(GRID_DIM)
+            y = rng.randrange(GRID_DIM)
+            for step in range(_WALK_STEPS):
+                builder.read(cell_address(x, y))
+                dx, dy = rng.choice(_MOVES)
+                nx = (x + dx) % GRID_DIM
+                ny = (y + dy) % GRID_DIM
+                builder.read(cell_address(nx, ny))
+                # Examine a second neighbour before committing.
+                dx2, dy2 = rng.choice(_MOVES)
+                builder.read(cell_address((x + dx2) % GRID_DIM, (y + dy2) % GRID_DIM))
+                builder.write(cell_address(x, y))
+                x, y = nx, ny
+
+            # Record the completed route: fresh data the router does not
+            # read while routing this net.
+            for word in range(_RESULT_WORDS):
+                offset = (net * _RESULT_WORDS + word) * WORD
+                builder.write(RESULTS_BASE + offset % RESULTS_BYTES)
+
+            # Rip-up check: iterative routers re-read recently recorded
+            # routes when later nets collide with them — the recall that
+            # makes allocating written data (write-validate) pay off.
+            if net % 3 == 2 and net:
+                victim_net = net - 1 - rng.randrange(min(net, 8))
+                for word in range(_RESULT_WORDS):
+                    offset = (victim_net * _RESULT_WORDS + word) * WORD
+                    builder.read(RESULTS_BASE + offset % RESULTS_BYTES)
+
+            # Hot bookkeeping scalars (best cost, wire length...).
+            for _ in range(2):
+                builder.rmw(SCALARS_BASE + rng.randrange(HOT_SCALARS) * WORD)

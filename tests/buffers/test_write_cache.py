@@ -1,0 +1,151 @@
+"""Unit tests for the write cache (Figs 6-8)."""
+
+import pytest
+
+from repro.buffers.write_cache import WriteCache, WriteCacheBackend
+from repro.common.errors import ConfigurationError
+from repro.hierarchy.memory import MainMemory
+from repro.trace.events import READ, WRITE, MemRef
+from repro.trace.trace import Trace
+
+
+def write_trace(addresses):
+    return Trace.from_refs([MemRef(a, 4, WRITE) for a in addresses])
+
+
+class TestBasics:
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ConfigurationError):
+            WriteCache(entries=-1)
+
+    def test_merge_same_8b_line(self):
+        cache = WriteCache(entries=2)
+        cache.write(0x100, 4)
+        cache.write(0x104, 4)  # same 8 B line
+        assert cache.stats.merged == 1
+        assert cache.stats.fraction_removed == pytest.approx(0.5)
+
+    def test_distinct_lines_fill_entries(self):
+        cache = WriteCache(entries=2)
+        for address in (0x100, 0x108, 0x110):
+            cache.write(address, 4)
+        assert cache.stats.merged == 0
+        assert cache.stats.evicted == 1  # LRU pushed out
+        assert len(cache) == 2
+
+    def test_lru_eviction_order(self):
+        memory = MainMemory()
+        cache = WriteCache(entries=2, downstream=memory)
+        cache.write(0x100, 4)
+        cache.write(0x108, 4)
+        cache.write(0x100, 4)  # refresh 0x100
+        cache.write(0x110, 4)  # evicts 0x108 (LRU)
+        assert memory.meter.write_throughs == 1
+        cache.flush()
+        assert memory.meter.write_throughs == 3
+
+    def test_zero_entries_pass_through(self):
+        memory = MainMemory()
+        cache = WriteCache(entries=0, downstream=memory)
+        cache.write(0x100, 4)
+        cache.write(0x100, 4)
+        assert cache.stats.merged == 0
+        assert memory.meter.write_throughs == 2
+
+    def test_flush_pushes_remaining(self):
+        memory = MainMemory()
+        cache = WriteCache(entries=4, downstream=memory)
+        cache.write(0x100, 4)
+        cache.write(0x108, 4)
+        cache.flush()
+        assert cache.stats.flushed == 2
+        assert memory.meter.write_throughs == 2
+        assert len(cache) == 0
+
+    def test_exit_writes(self):
+        cache = WriteCache(entries=1)
+        for address in (0x100, 0x108, 0x110):
+            cache.write(address, 4)
+        cache.flush()
+        assert cache.stats.exit_writes == 3  # 2 evictions + 1 flush
+
+
+class TestRunWrites:
+    def test_matches_incremental_writes(self, small_corpus):
+        trace = small_corpus["ccom"][:5000]
+        fast = WriteCache(entries=5).run_writes(trace)
+        slow = WriteCache(entries=5)
+        for ref in trace:
+            if ref.is_write:
+                slow.write(ref.address, ref.size)
+        slow.flush()
+        assert fast.merged == slow.stats.merged
+        assert fast.writes == slow.stats.writes
+        assert fast.evicted == slow.stats.evicted
+        assert fast.flushed == slow.stats.flushed
+
+    def test_reads_ignored(self):
+        trace = Trace.from_refs(
+            [MemRef(0x100, 4, WRITE), MemRef(0x104, 4, READ), MemRef(0x104, 4, WRITE)]
+        )
+        stats = WriteCache(entries=2).run_writes(trace)
+        assert stats.writes == 2
+        assert stats.merged == 1
+
+    def test_monotone_in_entries(self, small_corpus):
+        trace = small_corpus["met"]
+        removed = [
+            WriteCache(entries=n).run_writes(trace).fraction_removed for n in (1, 4, 16)
+        ]
+        assert removed[0] <= removed[1] <= removed[2]
+
+
+class TestVictimMode:
+    def test_probe_hits_dirty_entry(self):
+        cache = WriteCache(entries=2, victim_mode=True)
+        cache.write(0x100, 4)
+        assert cache.probe_read(0x104) is True
+        assert cache.probe_read(0x200) is False
+        assert cache.stats.read_probes == 2
+        assert cache.stats.read_hits == 1
+
+    def test_clean_insert_not_written_back(self):
+        memory = MainMemory()
+        cache = WriteCache(entries=1, downstream=memory, victim_mode=True)
+        cache.insert_clean(0x100)
+        cache.insert_clean(0x200)  # evicts clean 0x100: no traffic
+        assert memory.meter.write_throughs == 0
+        cache.flush()
+        assert memory.meter.write_throughs == 0
+
+    def test_clean_then_dirty_entry_written_back(self):
+        memory = MainMemory()
+        cache = WriteCache(entries=2, downstream=memory, victim_mode=True)
+        cache.insert_clean(0x100)
+        cache.write(0x100, 4)  # now dirty
+        cache.flush()
+        assert memory.meter.write_throughs == 1
+
+    def test_insert_clean_noop_without_victim_mode(self):
+        cache = WriteCache(entries=2)
+        cache.insert_clean(0x100)
+        assert len(cache) == 0
+
+
+class TestBackendComposition:
+    def test_write_throughs_filtered(self):
+        memory = MainMemory()
+        backend = WriteCacheBackend(WriteCache(entries=4), memory)
+        backend.write_through(0x100, 4)
+        backend.write_through(0x104, 4)  # merges
+        assert memory.meter.write_throughs == 0
+        backend.write_cache.flush()
+        assert memory.meter.write_throughs == 1
+
+    def test_fetch_and_writeback_pass_through(self):
+        memory = MainMemory()
+        backend = WriteCacheBackend(WriteCache(entries=4), memory)
+        backend.fetch(0x100, 16)
+        backend.write_back(0x200, 16, 0xF)
+        assert memory.meter.fetches == 1
+        assert memory.meter.writebacks == 1

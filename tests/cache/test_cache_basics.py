@@ -1,0 +1,104 @@
+"""Behavioural tests of the reference simulator's read path and geometry."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.cache.cache import Cache
+from repro.cache.config import CacheConfig
+from repro.cache.policies import WriteHitPolicy
+
+
+def small_cache(**overrides):
+    """A 4-set, 16 B-line direct-mapped cache: tiny enough to reason about."""
+    defaults = dict(size=64, line_size=16)
+    defaults.update(overrides)
+    return Cache(CacheConfig(**defaults))
+
+
+class TestReads:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        cache.read(0x100, 4)
+        assert cache.stats.read_misses == 1
+        assert cache.stats.fetches == 1
+        cache.read(0x104, 4)  # same line
+        assert cache.stats.read_hits == 1
+        assert cache.stats.fetches == 1
+
+    def test_distinct_lines_miss_separately(self):
+        cache = small_cache()
+        cache.read(0x100, 4)
+        cache.read(0x110, 4)
+        assert cache.stats.read_misses == 2
+
+    def test_conflict_eviction_direct_mapped(self):
+        cache = small_cache()  # 4 sets of 16 B
+        cache.read(0x100, 4)
+        cache.read(0x140, 4)  # same set (64 B apart), evicts
+        assert cache.stats.victims == 1
+        cache.read(0x100, 4)
+        assert cache.stats.read_misses == 3
+
+    def test_straddling_access_splits(self):
+        cache = small_cache(line_size=4, size=16)
+        cache.read(0x100, 8)  # two 4 B lines
+        assert cache.stats.reads == 1
+        assert cache.stats.read_line_accesses == 2
+        assert cache.stats.read_misses == 2
+
+    def test_line_sized_read_is_one_segment(self):
+        cache = small_cache()
+        cache.read(0x100, 16)  # exactly one aligned line
+        assert cache.stats.read_line_accesses == 1
+        assert cache.stats.fetches == 1
+
+
+class TestSetAssociativity:
+    def test_lru_within_set(self):
+        # 2-way, 2 sets, 16 B lines (64 B total).
+        cache = Cache(CacheConfig(size=64, line_size=16, associativity=2))
+        cache.read(0x000, 4)  # set 0, way A
+        cache.read(0x020, 4)  # set 0, way B (32 B apart = same set)
+        cache.read(0x000, 4)  # touch A
+        cache.read(0x040, 4)  # set 0: evicts LRU = B
+        assert cache.probe(0x000) is not None
+        assert cache.probe(0x020) is None
+        assert cache.probe(0x040) is not None
+
+    def test_full_associativity(self):
+        cache = Cache(CacheConfig(size=64, line_size=16, associativity=4))
+        for index in range(4):
+            cache.read(index * 16, 4)
+        assert cache.stats.victims == 0
+        cache.read(4 * 16, 4)
+        assert cache.stats.victims == 1
+
+
+class TestLifecycle:
+    def test_flush_then_access_raises(self):
+        cache = small_cache()
+        cache.read(0x100, 4)
+        cache.flush()
+        with pytest.raises(SimulationError):
+            cache.read(0x100, 4)
+        with pytest.raises(SimulationError):
+            cache.write(0x100, 4)
+
+    def test_run_accumulates_instructions(self, tiny_trace):
+        cache = small_cache()
+        stats = cache.run(tiny_trace)
+        assert stats.instructions == tiny_trace.instruction_count
+        assert stats.reads == tiny_trace.read_count
+        assert stats.writes == tiny_trace.write_count
+
+    def test_resident_lines_addresses(self):
+        cache = small_cache()
+        cache.read(0x123_4560, 4)
+        [(address, line)] = list(cache.resident_lines())
+        assert address == 0x123_4560
+        assert line.covers(cache.config.full_line_mask)
+
+    def test_stats_consistency_after_mixed_run(self, small_corpus):
+        cache = Cache(CacheConfig(size=1024, line_size=16))
+        cache.run(small_corpus["ccom"][:5000])
+        cache.stats.validate_consistency()

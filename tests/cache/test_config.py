@@ -1,0 +1,106 @@
+"""Unit tests for repro.cache.config."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.cache.config import CacheConfig
+from repro.cache.policies import WriteHitPolicy, WriteMissPolicy
+
+
+class TestGeometry:
+    def test_default_8kb_direct_mapped(self):
+        config = CacheConfig()
+        assert config.size == 8192
+        assert config.line_size == 16
+        assert config.num_lines == 512
+        assert config.num_sets == 512
+        assert config.is_direct_mapped
+
+    def test_string_sizes(self):
+        config = CacheConfig(size="64KB", line_size="32B")
+        assert config.size == 64 * 1024
+        assert config.line_size == 32
+
+    def test_set_associative(self):
+        config = CacheConfig(size=8192, line_size=16, associativity=4)
+        assert config.num_sets == 128
+        assert not config.is_direct_mapped
+
+    def test_address_decomposition(self):
+        config = CacheConfig(size=8192, line_size=16)
+        address = 0xABCD4
+        assert config.line_address(address) == 0xABCD0
+        assert config.set_index(address) == (address >> 4) & 0x1FF
+        assert config.tag(address) == address >> 13
+
+    def test_tag_set_offset_reassemble(self):
+        config = CacheConfig(size=4096, line_size=32, associativity=2)
+        for address in (0, 0x123E0, 0xFFFE0):
+            base = config.line_address(address)
+            rebuilt = (
+                (config.tag(address) << config.index_bits | config.set_index(address))
+                << config.offset_bits
+            )
+            assert rebuilt == base
+
+    def test_full_line_mask(self):
+        assert CacheConfig(line_size=4, size=1024).full_line_mask == 0xF
+        assert CacheConfig(line_size=16, size=1024).full_line_mask == 0xFFFF
+
+
+class TestValidation:
+    @pytest.mark.parametrize("size", [0, 3000, -8])
+    def test_bad_size(self, size):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size=size)
+
+    def test_bad_line_size(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(line_size=2, size=1024)
+        with pytest.raises(ConfigurationError):
+            CacheConfig(line_size=24, size=1024)
+
+    def test_line_exceeds_size(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size=16, line_size=32)
+
+    def test_bad_associativity(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(associativity=0)
+        with pytest.raises(ConfigurationError):
+            # 512 lines cannot form sets of 3.
+            CacheConfig(size=8192, line_size=16, associativity=3)
+
+    def test_valid_granularity_must_divide_line(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(line_size=16, valid_granularity=3)
+        CacheConfig(line_size=16, valid_granularity=8)
+
+    def test_write_invalidate_requires_direct_mapped(self):
+        with pytest.raises(ConfigurationError, match="direct-mapped"):
+            CacheConfig(
+                associativity=2,
+                write_hit=WriteHitPolicy.WRITE_THROUGH,
+                write_miss=WriteMissPolicy.WRITE_INVALIDATE,
+            )
+
+    def test_no_allocate_rejects_write_back(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(
+                write_hit=WriteHitPolicy.WRITE_BACK,
+                write_miss=WriteMissPolicy.WRITE_AROUND,
+            )
+
+
+class TestDescribe:
+    def test_describe_default_name(self):
+        config = CacheConfig(size="8KB", line_size=16)
+        assert config.name == "8KB/16B/DM/write-back/fetch-on-write"
+
+    def test_hashable_and_equal(self):
+        assert CacheConfig() == CacheConfig()
+        assert hash(CacheConfig()) == hash(CacheConfig())
+        assert CacheConfig() != CacheConfig(size="16KB")
+
+    def test_name_excluded_from_equality(self):
+        assert CacheConfig(name="a") == CacheConfig(name="b")

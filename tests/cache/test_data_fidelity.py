@@ -1,0 +1,138 @@
+"""Data-fidelity tests: no policy combination loses or invents bytes.
+
+The cache runs in data-carrying mode over a :class:`MainMemory`; after an
+arbitrary operation sequence plus a flush, memory must equal a flat
+reference model of the writes.  Reads must always observe the reference
+model's current value.  This is the strongest correctness property in the
+suite and it is checked for every write-hit x write-miss combination.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import Cache
+from repro.cache.config import CacheConfig
+from repro.cache.policies import WriteHitPolicy, WriteMissPolicy
+from repro.hierarchy.memory import MainMemory
+
+COMBOS = [
+    (WriteHitPolicy.WRITE_BACK, WriteMissPolicy.FETCH_ON_WRITE),
+    (WriteHitPolicy.WRITE_BACK, WriteMissPolicy.WRITE_VALIDATE),
+    (WriteHitPolicy.WRITE_THROUGH, WriteMissPolicy.FETCH_ON_WRITE),
+    (WriteHitPolicy.WRITE_THROUGH, WriteMissPolicy.WRITE_VALIDATE),
+    (WriteHitPolicy.WRITE_THROUGH, WriteMissPolicy.WRITE_AROUND),
+    (WriteHitPolicy.WRITE_THROUGH, WriteMissPolicy.WRITE_INVALIDATE),
+]
+
+
+def make_system(hit, miss, size=64, line_size=16):
+    memory = MainMemory(store_data=True)
+    cache = Cache(
+        CacheConfig(
+            size=size, line_size=line_size, write_hit=hit, write_miss=miss, store_data=True
+        ),
+        backend=memory,
+    )
+    return cache, memory
+
+
+def payload(seed: int, size: int) -> bytes:
+    return bytes((seed + index) % 251 + 1 for index in range(size))
+
+
+class TestDirectedFidelity:
+    @pytest.mark.parametrize("hit,miss", COMBOS)
+    def test_write_then_read_back(self, hit, miss):
+        cache, _ = make_system(hit, miss)
+        data = payload(7, 4)
+        cache.write(0x100, 4, data=data)
+        out = bytearray(4)
+        cache.read(0x100, 4, into=out)
+        assert bytes(out) == data
+
+    @pytest.mark.parametrize("hit,miss", COMBOS)
+    def test_survives_eviction(self, hit, miss):
+        cache, memory = make_system(hit, miss)
+        data = payload(3, 8)
+        cache.write(0x100, 8, data=data)
+        cache.read(0x140, 4)  # evict / conflict in the same set
+        out = bytearray(8)
+        cache.read(0x100, 8, into=out)
+        assert bytes(out) == data
+
+    @pytest.mark.parametrize("hit,miss", COMBOS)
+    def test_flush_leaves_memory_correct(self, hit, miss):
+        cache, memory = make_system(hit, miss)
+        writes = {0x100: payload(1, 4), 0x104: payload(9, 4), 0x240: payload(5, 8)}
+        for address, data in writes.items():
+            cache.write(address, len(data), data=data)
+        cache.flush()
+        for address, data in writes.items():
+            assert memory.peek(address, len(data)) == data
+
+    def test_validate_partial_refill_merges(self):
+        """A write-validated line refilled by a partial read keeps its
+        dirty bytes and picks up memory's bytes for the rest."""
+        cache, memory = make_system(
+            WriteHitPolicy.WRITE_BACK, WriteMissPolicy.WRITE_VALIDATE
+        )
+        memory.poke(0x100, payload(50, 16))  # pre-existing memory content
+        new = payload(80, 4)
+        cache.write(0x100, 4, data=new)
+        out = bytearray(4)
+        cache.read(0x108, 4, into=out)  # forces the partial refill
+        assert bytes(out) == payload(50, 16)[8:12]
+        out2 = bytearray(4)
+        cache.read(0x100, 4, into=out2)
+        assert bytes(out2) == new  # dirty bytes survived the refill
+
+    def test_write_around_memory_is_authoritative(self):
+        cache, memory = make_system(
+            WriteHitPolicy.WRITE_THROUGH, WriteMissPolicy.WRITE_AROUND
+        )
+        data = payload(33, 4)
+        cache.write(0x100, 4, data=data)
+        assert memory.peek(0x100, 4) == data
+        out = bytearray(4)
+        cache.read(0x100, 4, into=out)  # read miss refetches from memory
+        assert bytes(out) == data
+
+
+@st.composite
+def operations(draw):
+    """A list of aligned reads/writes over a small, conflict-rich region."""
+    count = draw(st.integers(min_value=1, max_value=60))
+    ops = []
+    for _ in range(count):
+        is_write = draw(st.booleans())
+        size = draw(st.sampled_from([4, 8]))
+        slot = draw(st.integers(min_value=0, max_value=63))
+        address = slot * 8 if size == 8 else slot * 4
+        ops.append((is_write, address, size))
+    return ops
+
+
+class TestPropertyFidelity:
+    @pytest.mark.parametrize("hit,miss", COMBOS)
+    @given(ops=operations())
+    @settings(max_examples=40, deadline=None)
+    def test_reads_match_flat_model_and_flush_is_lossless(self, hit, miss, ops):
+        cache, memory = make_system(hit, miss, size=64, line_size=16)
+        model = {}
+        counter = 0
+        for is_write, address, size in ops:
+            if is_write:
+                counter += 1
+                data = payload(counter, size)
+                for index, value in enumerate(data):
+                    model[address + index] = value
+                cache.write(address, size, data=data)
+            else:
+                out = bytearray(size)
+                cache.read(address, size, into=out)
+                expected = bytes(model.get(address + i, 0) for i in range(size))
+                assert bytes(out) == expected, (hit, miss, address, size)
+        cache.flush()
+        for address, value in model.items():
+            assert memory.peek(address, 1)[0] == value

@@ -1,0 +1,128 @@
+"""Edge-case cache geometries and access shapes."""
+
+import pytest
+
+from repro.cache.cache import Cache
+from repro.cache.config import CacheConfig
+from repro.cache.fastsim import simulate_trace
+from repro.cache.policies import WriteHitPolicy, WriteMissPolicy
+from repro.trace.events import READ, WRITE, MemRef
+from repro.trace.trace import Trace
+
+
+class TestDegenerateGeometries:
+    def test_single_line_cache(self):
+        """line_size == size: one frame, everything conflicts."""
+        cache = Cache(CacheConfig(size=16, line_size=16))
+        cache.read(0x100, 4)
+        cache.read(0x200, 4)
+        cache.read(0x100, 4)
+        assert cache.stats.read_misses == 3
+        assert cache.stats.victims == 2
+
+    def test_fully_associative_cache(self):
+        """associativity == num_lines: a single set."""
+        config = CacheConfig(size=64, line_size=16, associativity=4)
+        assert config.num_sets == 1
+        cache = Cache(config)
+        for address in (0x000, 0x100, 0x200, 0x300):
+            cache.read(address, 4)
+        assert cache.stats.victims == 0
+        cache.read(0x400, 4)
+        assert cache.stats.victims == 1
+        assert cache.probe(0x000) is None  # LRU victim
+
+    def test_4b_lines_whole_cache(self):
+        config = CacheConfig(size=64, line_size=4)
+        cache = Cache(config)
+        cache.write(0x100, 8)  # splits into two 4 B lines
+        assert cache.stats.write_line_accesses == 2
+        assert cache.probe(0x100).dirty_mask == 0xF
+        assert cache.probe(0x104).dirty_mask == 0xF
+
+    def test_wide_read_spans_many_small_lines(self):
+        """The access API accepts widths beyond 8 B (used by the
+        CacheLevelBackend); a 16 B read over 4 B lines is 4 segments."""
+        cache = Cache(CacheConfig(size=64, line_size=4))
+        cache.read(0x100, 16)
+        assert cache.stats.read_line_accesses == 4
+        assert cache.stats.fetches == 4
+
+
+class TestGranularityEdges:
+    def test_granularity_equal_to_line(self):
+        """valid_granularity == line_size: write-validate only works for
+        full-line writes; everything else falls back to fetching."""
+        config = CacheConfig(
+            size=64,
+            line_size=8,
+            valid_granularity=8,
+            write_miss=WriteMissPolicy.WRITE_VALIDATE,
+        )
+        cache = Cache(config)
+        cache.write(0x100, 8)  # full line: validates
+        assert cache.stats.validate_allocations == 1
+        cache.write(0x200, 4)  # half line: fetch-on-write fallback
+        assert cache.stats.fetches == 1
+
+    def test_byte_granularity_config(self):
+        config = CacheConfig(size=64, line_size=16, valid_granularity=1)
+        cache = Cache(config)
+        cache.write(0x100, 4)
+        assert cache.probe(0x100) is not None
+
+
+class TestStatsOnlyDataArguments:
+    def test_data_ignored_without_store_data(self):
+        cache = Cache(CacheConfig(size=64, line_size=16))
+        cache.write(0x100, 4, data=b"abcd")  # accepted, not stored
+        out = bytearray(4)
+        cache.read(0x100, 4, into=out)
+        assert bytes(out) == b"\x00\x00\x00\x00"  # no data carried
+
+
+class TestEmptyTrace:
+    def test_simulate_empty(self):
+        empty = Trace([], [], [], [])
+        stats = simulate_trace(empty, CacheConfig(size=64, line_size=16))
+        assert stats.accesses == 0
+        assert stats.miss_ratio == 0.0
+        stats.validate_consistency()
+
+    def test_run_empty_reference(self):
+        cache = Cache(CacheConfig(size=64, line_size=16))
+        stats = cache.run(Trace([], [], [], []))
+        assert stats.fetches == 0
+
+
+class TestWriteInvalidateEdge:
+    def test_partial_valid_line_killed_whole(self):
+        """A write-validate-style resident partial line in the frame is
+        still 'corrupted' and invalidated whole."""
+        cache = Cache(
+            CacheConfig(
+                size=64,
+                line_size=16,
+                write_hit=WriteHitPolicy.WRITE_THROUGH,
+                write_miss=WriteMissPolicy.WRITE_INVALIDATE,
+            )
+        )
+        cache.read(0x140, 4)
+        cache.write(0x100, 4)  # same frame, different tag
+        assert cache.probe(0x140) is None
+        assert cache.stats.invalidations == 1
+
+    def test_repeated_miss_same_line_invalidates_once(self):
+        cache = Cache(
+            CacheConfig(
+                size=64,
+                line_size=16,
+                write_hit=WriteHitPolicy.WRITE_THROUGH,
+                write_miss=WriteMissPolicy.WRITE_INVALIDATE,
+            )
+        )
+        cache.read(0x140, 4)
+        cache.write(0x100, 4)
+        cache.write(0x104, 4)  # frame now empty: nothing to invalidate
+        assert cache.stats.invalidations == 1
+        assert cache.stats.write_throughs == 2

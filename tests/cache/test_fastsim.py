@@ -1,0 +1,111 @@
+"""fastsim must be counter-for-counter identical to the reference Cache."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import Cache
+from repro.cache.config import CacheConfig
+from repro.cache.fastsim import simulate_trace
+from repro.cache.policies import WriteHitPolicy, WriteMissPolicy
+from repro.trace.events import READ, WRITE, MemRef
+from repro.trace.trace import Trace
+
+COMBOS = [
+    (WriteHitPolicy.WRITE_BACK, WriteMissPolicy.FETCH_ON_WRITE),
+    (WriteHitPolicy.WRITE_BACK, WriteMissPolicy.WRITE_VALIDATE),
+    (WriteHitPolicy.WRITE_THROUGH, WriteMissPolicy.FETCH_ON_WRITE),
+    (WriteHitPolicy.WRITE_THROUGH, WriteMissPolicy.WRITE_VALIDATE),
+    (WriteHitPolicy.WRITE_THROUGH, WriteMissPolicy.WRITE_AROUND),
+    (WriteHitPolicy.WRITE_THROUGH, WriteMissPolicy.WRITE_INVALIDATE),
+]
+
+
+def reference_stats(trace, config):
+    cache = Cache(config)
+    cache.run(trace)
+    cache.flush()
+    return cache.stats
+
+
+def assert_stats_equal(a, b, context=""):
+    left = dataclasses.asdict(a)
+    right = dataclasses.asdict(b)
+    left.pop("extra")
+    right.pop("extra")
+    diffs = {key: (left[key], right[key]) for key in left if left[key] != right[key]}
+    assert not diffs, f"{context}: {diffs}"
+
+
+class TestCorpusEquivalence:
+    @pytest.mark.parametrize("hit,miss", COMBOS)
+    def test_ccom_8kb(self, small_corpus, hit, miss):
+        trace = small_corpus["ccom"][:8000]
+        config = CacheConfig(size=8192, line_size=16, write_hit=hit, write_miss=miss)
+        assert_stats_equal(
+            simulate_trace(trace, config), reference_stats(trace, config), str(miss)
+        )
+
+    @pytest.mark.parametrize("line_size", [4, 8, 64])
+    def test_line_sizes_with_doubles(self, small_corpus, line_size):
+        trace = small_corpus["linpack"][:8000]
+        config = CacheConfig(size=2048, line_size=line_size)
+        assert_stats_equal(simulate_trace(trace, config), reference_stats(trace, config))
+
+    def test_subblock_dirty_writeback(self, small_corpus):
+        trace = small_corpus["yacc"][:8000]
+        config = CacheConfig(size=2048, line_size=32, subblock_dirty_writeback=True)
+        assert_stats_equal(simulate_trace(trace, config), reference_stats(trace, config))
+
+    def test_no_flush_variant(self, small_corpus):
+        trace = small_corpus["met"][:4000]
+        config = CacheConfig(size=1024, line_size=16)
+        stats = simulate_trace(trace, config, flush=False)
+        assert stats.flushed_lines == 0
+        flushed = simulate_trace(trace, config, flush=True)
+        assert flushed.flushed_lines > 0
+        assert flushed.fetches == stats.fetches
+
+    def test_set_associative_falls_back(self, small_corpus):
+        trace = small_corpus["grr"][:3000]
+        config = CacheConfig(size=2048, line_size=16, associativity=2)
+        assert_stats_equal(simulate_trace(trace, config), reference_stats(trace, config))
+
+    def test_consistency_invariants(self, small_corpus):
+        for hit, miss in COMBOS:
+            config = CacheConfig(size=1024, line_size=16, write_hit=hit, write_miss=miss)
+            simulate_trace(small_corpus["liver"][:5000], config).validate_consistency()
+
+
+@st.composite
+def random_trace(draw):
+    count = draw(st.integers(min_value=1, max_value=150))
+    refs = []
+    for _ in range(count):
+        kind = draw(st.sampled_from([READ, WRITE]))
+        size = draw(st.sampled_from([4, 8]))
+        slot = draw(st.integers(min_value=0, max_value=95))
+        refs.append(MemRef(slot * size, size, kind))
+    return Trace.from_refs(refs)
+
+
+class TestPropertyEquivalence:
+    @pytest.mark.parametrize("hit,miss", COMBOS)
+    @given(trace=random_trace())
+    @settings(max_examples=30, deadline=None)
+    def test_random_traces(self, hit, miss, trace):
+        config = CacheConfig(size=128, line_size=16, write_hit=hit, write_miss=miss)
+        assert_stats_equal(simulate_trace(trace, config), reference_stats(trace, config))
+
+    @given(trace=random_trace(), line_size=st.sampled_from([4, 8, 32]))
+    @settings(max_examples=20, deadline=None)
+    def test_random_geometries(self, trace, line_size):
+        config = CacheConfig(
+            size=256,
+            line_size=line_size,
+            write_hit=WriteHitPolicy.WRITE_BACK,
+            write_miss=WriteMissPolicy.WRITE_VALIDATE,
+        )
+        assert_stats_equal(simulate_trace(trace, config), reference_stats(trace, config))

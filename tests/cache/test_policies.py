@@ -1,0 +1,61 @@
+"""Unit tests for repro.cache.policies — the Fig. 12 taxonomy."""
+
+import itertools
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.cache.policies import (
+    WriteHitPolicy,
+    WriteMissPolicy,
+    classify_flags,
+    expand_flags,
+    validate_combination,
+)
+
+
+class TestCube:
+    def test_expand_classify_round_trip(self):
+        for policy in WriteMissPolicy:
+            assert classify_flags(*expand_flags(policy)) is policy
+
+    def test_exactly_four_useful_points(self):
+        useful = 0
+        for flags in itertools.product([False, True], repeat=3):
+            try:
+                classify_flags(*flags)
+                useful += 1
+            except ConfigurationError:
+                pass
+        assert useful == 4
+
+    def test_fetch_without_allocate_not_useful(self):
+        with pytest.raises(ConfigurationError, match="discarded"):
+            classify_flags(True, False, False)
+        with pytest.raises(ConfigurationError):
+            classify_flags(True, False, True)
+
+    def test_allocate_with_invalidate_not_useful(self):
+        with pytest.raises(ConfigurationError, match="marked invalid"):
+            classify_flags(False, True, True)
+        with pytest.raises(ConfigurationError):
+            classify_flags(True, True, True)
+
+    def test_named_points(self):
+        assert classify_flags(True, True, False) is WriteMissPolicy.FETCH_ON_WRITE
+        assert classify_flags(False, True, False) is WriteMissPolicy.WRITE_VALIDATE
+        assert classify_flags(False, False, False) is WriteMissPolicy.WRITE_AROUND
+        assert classify_flags(False, False, True) is WriteMissPolicy.WRITE_INVALIDATE
+
+
+class TestCombinations:
+    def test_no_allocate_requires_write_through(self):
+        for miss in (WriteMissPolicy.WRITE_AROUND, WriteMissPolicy.WRITE_INVALIDATE):
+            with pytest.raises(ConfigurationError):
+                validate_combination(WriteHitPolicy.WRITE_BACK, miss)
+            validate_combination(WriteHitPolicy.WRITE_THROUGH, miss)
+
+    def test_allocate_policies_work_with_both(self):
+        for hit in WriteHitPolicy:
+            for miss in (WriteMissPolicy.FETCH_ON_WRITE, WriteMissPolicy.WRITE_VALIDATE):
+                validate_combination(hit, miss)

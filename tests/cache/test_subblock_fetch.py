@@ -1,0 +1,116 @@
+"""Sectored (sub-block fetch) cache behaviour."""
+
+import pytest
+
+from repro.cache.cache import Cache
+from repro.cache.config import CacheConfig
+from repro.cache.fastsim import simulate_trace
+from repro.cache.policies import WriteHitPolicy, WriteMissPolicy
+from repro.hierarchy.memory import MainMemory
+
+
+def make(granularity=4, line_size=16, **overrides):
+    defaults = dict(
+        size=64,
+        line_size=line_size,
+        valid_granularity=granularity,
+        subblock_fetch=True,
+    )
+    defaults.update(overrides)
+    return Cache(CacheConfig(**defaults))
+
+
+class TestReadPath:
+    def test_miss_fetches_only_requested_granule(self):
+        cache = make()
+        cache.read(0x100, 4)
+        assert cache.stats.fetches == 1
+        assert cache.stats.fetch_bytes == 4
+        line = cache.probe(0x100)
+        assert line.valid_mask == 0xF
+
+    def test_other_subblock_is_partial_miss(self):
+        cache = make()
+        cache.read(0x100, 4)
+        cache.read(0x108, 4)  # same line, different sector
+        assert cache.stats.read_partial_misses == 1
+        assert cache.stats.fetch_bytes == 8
+        assert cache.probe(0x100).valid_mask == 0xF0F
+
+    def test_same_subblock_hits(self):
+        cache = make()
+        cache.read(0x100, 4)
+        cache.read(0x100, 4)
+        assert cache.stats.read_hits == 1
+        assert cache.stats.fetches == 1
+
+    def test_wide_read_fetches_wide_span(self):
+        cache = make()
+        cache.read(0x100, 8)
+        assert cache.stats.fetches == 1
+        assert cache.stats.fetch_bytes == 8
+
+    def test_full_line_assembled_incrementally(self):
+        cache = make()
+        for offset in range(0, 16, 4):
+            cache.read(0x100 + offset, 4)
+        assert cache.probe(0x100).valid_mask == 0xFFFF
+        assert cache.stats.fetch_bytes == 16
+        assert cache.stats.fetches == 4  # four sector transactions
+
+
+class TestWritePath:
+    def test_fetch_on_write_fetches_only_written_sector(self):
+        cache = make()
+        cache.write(0x100, 4)
+        assert cache.stats.fetches == 1
+        assert cache.stats.fetch_bytes == 4
+        line = cache.probe(0x100)
+        assert line.valid_mask == 0xF
+        assert line.dirty_mask == 0xF
+
+    def test_victim_byte_accounting_unchanged(self):
+        cache = make()
+        cache.write(0x100, 4)
+        cache.read(0x140, 4)  # evict dirty sector line
+        assert cache.stats.dirty_victim_dirty_bytes == 4
+
+
+class TestDataFidelity:
+    def test_incremental_fill_preserves_memory_content(self):
+        memory = MainMemory(store_data=True)
+        memory.poke(0x100, bytes(range(1, 17)))
+        cache = Cache(
+            CacheConfig(
+                size=64, line_size=16, subblock_fetch=True, store_data=True
+            ),
+            backend=memory,
+        )
+        out = bytearray(4)
+        cache.read(0x108, 4, into=out)
+        assert bytes(out) == bytes(range(9, 13))
+        # Dirty data survives a later sector refill.
+        cache.write(0x100, 4, data=b"abcd")
+        wide = bytearray(16)
+        cache.read(0x100, 16, into=wide)
+        assert bytes(wide) == b"abcd" + bytes(range(5, 17))
+
+
+class TestFastsimFallback:
+    def test_subblock_fetch_uses_reference_engine(self, small_corpus):
+        trace = small_corpus["liver"][:3000]
+        config = CacheConfig(size=1024, line_size=32, subblock_fetch=True)
+        stats = simulate_trace(trace, config)
+        stats.validate_consistency()
+        # Sectored fetches move fewer bytes than whole-line fetches.
+        full = simulate_trace(trace, CacheConfig(size=1024, line_size=32))
+        assert stats.fetch_bytes < full.fetch_bytes
+
+    def test_sectoring_trades_bytes_for_transactions(self, small_corpus):
+        trace = small_corpus["ccom"][:6000]
+        sectored = simulate_trace(
+            trace, CacheConfig(size=2048, line_size=64, subblock_fetch=True)
+        )
+        full = simulate_trace(trace, CacheConfig(size=2048, line_size=64))
+        assert sectored.fetch_bytes < full.fetch_bytes
+        assert sectored.fetches >= full.fetches

@@ -1,0 +1,118 @@
+"""Victim statistics and cold-stop / flush-stop accounting (Section 5)."""
+
+import pytest
+
+from repro.cache.cache import Cache
+from repro.cache.config import CacheConfig
+from repro.cache.policies import WriteHitPolicy, WriteMissPolicy
+
+
+def wb_cache(**overrides):
+    defaults = dict(size=64, line_size=16, write_hit=WriteHitPolicy.WRITE_BACK)
+    defaults.update(overrides)
+    return Cache(CacheConfig(**defaults))
+
+
+class TestVictimCounters:
+    def test_mixed_victims(self):
+        cache = wb_cache()
+        cache.write(0x000, 4)  # set 0, dirty
+        cache.read(0x010, 4)  # set 1, clean
+        cache.read(0x040, 4)  # evict set 0 (dirty victim)
+        cache.read(0x050, 4)  # evict set 1 (clean victim)
+        assert cache.stats.victims == 2
+        assert cache.stats.dirty_victims == 1
+        assert cache.stats.fraction_victims_dirty == pytest.approx(0.5)
+
+    def test_dirty_byte_accounting(self):
+        cache = wb_cache()
+        cache.write(0x000, 4)
+        cache.write(0x008, 8)  # same line: 12 dirty bytes total
+        cache.read(0x040, 4)
+        assert cache.stats.dirty_victim_dirty_bytes == 12
+        assert cache.stats.fraction_bytes_dirty_in_dirty_victim == pytest.approx(12 / 16)
+
+
+class TestFlushStop:
+    def test_flush_counts_resident_lines(self):
+        cache = wb_cache()
+        cache.write(0x000, 4)  # dirty
+        cache.read(0x010, 4)  # clean
+        cache.flush()
+        assert cache.stats.flushed_lines == 2
+        assert cache.stats.flushed_dirty_lines == 1
+        assert cache.stats.flushed_dirty_bytes == 4
+        assert cache.stats.flush_writeback_bytes == 16  # full-line write-back
+
+    def test_flush_with_subblock_dirty(self):
+        cache = wb_cache(subblock_dirty_writeback=True)
+        cache.write(0x000, 4)
+        cache.flush()
+        assert cache.stats.flush_writeback_bytes == 4
+
+    def test_flush_metrics_weighted_average(self):
+        """Fig. 20's dotted curves: execution victims + flushed lines."""
+        cache = wb_cache()
+        cache.write(0x000, 4)
+        cache.read(0x040, 4)  # one dirty execution victim
+        cache.read(0x050, 4)  # clean line, set 1
+        cache.flush()  # flushes 2 clean... set0 line (clean) + set1
+        stats = cache.stats
+        assert stats.fraction_victims_dirty == 1.0
+        # 1 dirty out of (1 victim + 2 flushed lines).
+        assert stats.fraction_victims_dirty_flush == pytest.approx(1 / 3)
+
+    def test_flush_stop_bytes_per_victim(self):
+        cache = wb_cache()
+        cache.write(0x000, 8)
+        cache.flush()
+        assert cache.stats.fraction_bytes_dirty_per_victim_flush == pytest.approx(0.5)
+
+    def test_empty_cache_flush(self):
+        cache = wb_cache()
+        cache.flush()
+        assert cache.stats.flushed_lines == 0
+        assert cache.stats.fraction_victims_dirty_flush == 0.0
+
+
+class TestColdStopAnomaly:
+    """The Section 5 motivation: big caches retain most written lines."""
+
+    def test_large_cache_retains_dirty_lines(self, small_corpus):
+        trace = small_corpus["yacc"]
+        cache = Cache(CacheConfig(size=128 * 1024, line_size=16))
+        cache.run(trace)
+        retained = cache.dirty_line_count()
+        cache.flush()
+        assert cache.stats.flushed_dirty_lines == retained
+        # At 128 KB the flush traffic dominates execution write-backs.
+        assert retained > cache.stats.writebacks
+
+    def test_small_cache_flush_negligible(self, small_corpus):
+        trace = small_corpus["yacc"]
+        cache = Cache(CacheConfig(size=1024, line_size=16))
+        cache.run(trace)
+        cache.flush()
+        assert cache.stats.writebacks > cache.stats.flushed_dirty_lines
+
+
+class TestWriteBackConservation:
+    """Every line that becomes dirty is written back exactly once.
+
+    write-line-accesses = (lines made dirty) + (writes to already-dirty),
+    and lines made dirty = execution write-backs + flushed dirty lines.
+    This identity is the paper's write-traffic bookkeeping (Section 3).
+    """
+
+    @pytest.mark.parametrize("size", [1024, 8192])
+    @pytest.mark.parametrize(
+        "miss", [WriteMissPolicy.FETCH_ON_WRITE, WriteMissPolicy.WRITE_VALIDATE]
+    )
+    def test_conservation(self, small_corpus, size, miss):
+        trace = small_corpus["ccom"]
+        cache = Cache(CacheConfig(size=size, line_size=16, write_miss=miss))
+        cache.run(trace)
+        cache.flush()
+        stats = cache.stats
+        became_dirty = stats.writebacks + stats.flushed_dirty_lines
+        assert stats.write_line_accesses == became_dirty + stats.writes_to_dirty_lines

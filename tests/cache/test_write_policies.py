@@ -1,0 +1,239 @@
+"""Behavioural tests of every write-hit and write-miss policy.
+
+Each test drives a tiny hand-built cache through a short sequence and
+asserts the exact counters/line state the policy semantics require.
+"""
+
+import pytest
+
+from repro.cache.cache import Cache
+from repro.cache.config import CacheConfig
+from repro.cache.policies import WriteHitPolicy, WriteMissPolicy
+
+
+def make_cache(hit, miss, **overrides):
+    defaults = dict(size=64, line_size=16, write_hit=hit, write_miss=miss)
+    defaults.update(overrides)
+    return Cache(CacheConfig(**defaults))
+
+
+class TestWriteThroughHits:
+    def test_every_write_goes_downstream(self):
+        cache = make_cache(WriteHitPolicy.WRITE_THROUGH, WriteMissPolicy.FETCH_ON_WRITE)
+        cache.read(0x100, 4)
+        for _ in range(3):
+            cache.write(0x100, 4)
+        assert cache.stats.write_hits == 3
+        assert cache.stats.write_throughs == 3
+        assert cache.stats.write_through_bytes == 12
+
+    def test_lines_never_dirty(self):
+        cache = make_cache(WriteHitPolicy.WRITE_THROUGH, WriteMissPolicy.FETCH_ON_WRITE)
+        cache.read(0x100, 4)
+        cache.write(0x100, 4)
+        assert cache.probe(0x100).dirty_mask == 0
+        cache.flush()
+        assert cache.stats.flushed_dirty_lines == 0
+        assert cache.stats.writebacks == 0
+
+
+class TestWriteBackHits:
+    def test_dirty_bit_set_no_downstream_traffic(self):
+        cache = make_cache(WriteHitPolicy.WRITE_BACK, WriteMissPolicy.FETCH_ON_WRITE)
+        cache.read(0x100, 4)
+        cache.write(0x100, 4)
+        assert cache.probe(0x100).dirty_mask == 0xF
+        assert cache.stats.write_throughs == 0
+
+    def test_writes_to_dirty_counted(self):
+        cache = make_cache(WriteHitPolicy.WRITE_BACK, WriteMissPolicy.FETCH_ON_WRITE)
+        cache.read(0x100, 4)
+        cache.write(0x100, 4)  # clean -> dirty
+        cache.write(0x104, 4)  # already dirty line
+        cache.write(0x104, 4)  # still dirty
+        assert cache.stats.writes_to_dirty_lines == 2
+        assert cache.stats.fraction_writes_to_dirty == pytest.approx(2 / 3)
+
+    def test_dirty_victim_written_back(self):
+        cache = make_cache(WriteHitPolicy.WRITE_BACK, WriteMissPolicy.FETCH_ON_WRITE)
+        cache.write(0x100, 4)  # fetch-on-write, dirty
+        cache.read(0x140, 4)  # same set: evict dirty victim
+        assert cache.stats.writebacks == 1
+        assert cache.stats.dirty_victims == 1
+        assert cache.stats.writeback_bytes == 16  # full line by default
+        assert cache.stats.writeback_dirty_bytes == 4
+
+    def test_subblock_dirty_writeback_bytes(self):
+        cache = make_cache(
+            WriteHitPolicy.WRITE_BACK,
+            WriteMissPolicy.FETCH_ON_WRITE,
+            subblock_dirty_writeback=True,
+        )
+        cache.write(0x100, 4)
+        cache.read(0x140, 4)
+        assert cache.stats.writeback_bytes == 4  # only the dirty sub-block
+
+    def test_clean_victim_no_writeback(self):
+        cache = make_cache(WriteHitPolicy.WRITE_BACK, WriteMissPolicy.FETCH_ON_WRITE)
+        cache.read(0x100, 4)
+        cache.read(0x140, 4)
+        assert cache.stats.victims == 1
+        assert cache.stats.writebacks == 0
+
+
+class TestFetchOnWrite:
+    def test_write_miss_fetches_line(self):
+        cache = make_cache(WriteHitPolicy.WRITE_BACK, WriteMissPolicy.FETCH_ON_WRITE)
+        cache.write(0x100, 4)
+        assert cache.stats.write_misses == 1
+        assert cache.stats.fetches == 1
+        assert cache.stats.fetches_for_writes == 1
+        line = cache.probe(0x100)
+        assert line.valid_mask == 0xFFFF  # whole line fetched
+        assert line.dirty_mask == 0xF
+
+    def test_subsequent_read_of_rest_of_line_hits(self):
+        cache = make_cache(WriteHitPolicy.WRITE_BACK, WriteMissPolicy.FETCH_ON_WRITE)
+        cache.write(0x100, 4)
+        cache.read(0x10C, 4)
+        assert cache.stats.read_hits == 1
+        assert cache.stats.fetches == 1
+
+
+class TestWriteValidate:
+    def make(self, hit=WriteHitPolicy.WRITE_BACK):
+        return make_cache(hit, WriteMissPolicy.WRITE_VALIDATE)
+
+    def test_no_fetch_on_write_miss(self):
+        cache = self.make()
+        cache.write(0x100, 4)
+        assert cache.stats.write_misses == 1
+        assert cache.stats.fetches == 0
+        assert cache.stats.validate_allocations == 1
+        line = cache.probe(0x100)
+        assert line.valid_mask == 0xF  # only the written bytes valid
+        assert line.dirty_mask == 0xF
+
+    def test_read_of_written_part_hits(self):
+        cache = self.make()
+        cache.write(0x100, 4)
+        cache.read(0x100, 4)
+        assert cache.stats.read_hits == 1
+        assert cache.stats.fetches == 0
+
+    def test_read_of_invalid_part_is_partial_miss(self):
+        cache = self.make()
+        cache.write(0x100, 4)
+        cache.read(0x108, 4)  # same line, invalid bytes
+        assert cache.stats.read_partial_misses == 1
+        assert cache.stats.fetches == 1
+        assert cache.stats.fetches_for_partial_reads == 1
+        # After the refill the whole line is valid; dirty bytes survive.
+        line = cache.probe(0x100)
+        assert line.valid_mask == 0xFFFF
+        assert line.dirty_mask == 0xF
+
+    def test_second_write_merges_valid_bits(self):
+        cache = self.make()
+        cache.write(0x100, 4)
+        cache.write(0x104, 4)  # tag hit: write hit, extends valid bytes
+        assert cache.stats.write_hits == 1
+        assert cache.probe(0x100).valid_mask == 0xFF
+        assert cache.stats.writes_to_dirty_lines == 1
+
+    def test_full_line_written_then_read_never_fetches(self):
+        cache = self.make()
+        for offset in range(0, 16, 4):
+            cache.write(0x100 + offset, 4)
+        cache.read(0x100, 16)
+        assert cache.stats.fetches == 0
+
+    def test_write_through_variant_sends_stores_down(self):
+        cache = self.make(hit=WriteHitPolicy.WRITE_THROUGH)
+        cache.write(0x100, 4)
+        assert cache.stats.write_throughs == 1
+        assert cache.probe(0x100).dirty_mask == 0
+
+    def test_eviction_of_partial_line_counts_dirty_bytes(self):
+        cache = self.make()
+        cache.write(0x100, 4)
+        cache.write(0x140, 4)  # same set: evicts the partial dirty line
+        assert cache.stats.dirty_victims == 1
+        assert cache.stats.dirty_victim_dirty_bytes == 4
+
+    def test_sub_granule_write_falls_back_to_fetch(self):
+        cache = Cache(
+            CacheConfig(
+                size=64,
+                line_size=16,
+                write_hit=WriteHitPolicy.WRITE_BACK,
+                write_miss=WriteMissPolicy.WRITE_VALIDATE,
+                valid_granularity=8,
+            )
+        )
+        cache.write(0x100, 4)  # 4 B write, 8 B granules: cannot validate
+        assert cache.stats.fetches == 1
+        assert cache.stats.validate_allocations == 0
+        assert cache.probe(0x100).valid_mask == 0xFFFF
+
+
+class TestWriteAround:
+    def make(self):
+        return make_cache(WriteHitPolicy.WRITE_THROUGH, WriteMissPolicy.WRITE_AROUND)
+
+    def test_miss_does_not_allocate(self):
+        cache = self.make()
+        cache.write(0x100, 4)
+        assert cache.stats.write_misses == 1
+        assert cache.stats.fetches == 0
+        assert cache.probe(0x100) is None
+        assert cache.stats.write_throughs == 1
+
+    def test_old_line_contents_preserved(self):
+        cache = self.make()
+        cache.read(0x140, 4)  # old line in the set
+        cache.write(0x100, 4)  # same set, different tag: goes around
+        assert cache.probe(0x140) is not None
+        cache.read(0x140, 4)
+        assert cache.stats.read_hits == 1
+
+    def test_write_hit_still_updates_cache(self):
+        cache = self.make()
+        cache.read(0x100, 4)
+        cache.write(0x100, 4)
+        assert cache.stats.write_hits == 1
+        assert cache.stats.write_throughs == 1
+
+
+class TestWriteInvalidate:
+    def make(self):
+        return make_cache(WriteHitPolicy.WRITE_THROUGH, WriteMissPolicy.WRITE_INVALIDATE)
+
+    def test_miss_kills_resident_line(self):
+        cache = self.make()
+        cache.read(0x140, 4)
+        cache.write(0x100, 4)  # same set: corrupts and invalidates 0x140
+        assert cache.probe(0x140) is None
+        assert cache.stats.invalidations == 1
+        assert cache.stats.write_throughs == 1
+        cache.read(0x140, 4)
+        assert cache.stats.read_misses == 2
+
+    def test_miss_on_empty_set_invalidates_nothing(self):
+        cache = self.make()
+        cache.write(0x100, 4)
+        assert cache.stats.invalidations == 0
+        assert cache.probe(0x100) is None
+
+    def test_invalidation_not_counted_as_victim(self):
+        cache = self.make()
+        cache.read(0x140, 4)
+        cache.write(0x100, 4)
+        assert cache.stats.victims == 0
+
+    def test_write_hit_behaves_as_write_through(self):
+        cache = self.make()
+        cache.read(0x100, 4)
+        cache.write(0x100, 4)
+        assert cache.stats.write_hits == 1
+        assert cache.probe(0x100) is not None

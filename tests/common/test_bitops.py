@@ -1,0 +1,86 @@
+"""Unit tests for repro.common.bitops."""
+
+import pytest
+
+from repro.common.bitops import (
+    align_down,
+    align_up,
+    byte_mask,
+    bytes_set,
+    is_aligned,
+    is_power_of_two,
+    log2_int,
+    mask_bits,
+    popcount,
+)
+from repro.common.errors import ConfigurationError
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        for exponent in range(20):
+            assert is_power_of_two(1 << exponent)
+
+    def test_non_powers(self):
+        for value in (0, -1, -2, 3, 5, 6, 7, 9, 12, 100):
+            assert not is_power_of_two(value)
+
+
+class TestLog2Int:
+    def test_exact(self):
+        assert log2_int(1) == 0
+        assert log2_int(16) == 4
+        assert log2_int(128 * 1024) == 17
+
+    @pytest.mark.parametrize("value", [0, -4, 3, 10, 7])
+    def test_rejects_non_powers(self, value):
+        with pytest.raises(ConfigurationError):
+            log2_int(value)
+
+
+class TestAlignment:
+    def test_align_down(self):
+        assert align_down(0x1234, 16) == 0x1230
+        assert align_down(0x1230, 16) == 0x1230
+        assert align_down(5, 4) == 4
+
+    def test_align_up(self):
+        assert align_up(0x1234, 16) == 0x1240
+        assert align_up(0x1240, 16) == 0x1240
+
+    def test_is_aligned(self):
+        assert is_aligned(0x1000, 8)
+        assert not is_aligned(0x1004, 8)
+        assert is_aligned(0x1004, 4)
+
+    def test_round_trip(self):
+        for address in range(0, 200, 7):
+            down = align_down(address, 16)
+            assert down <= address < down + 16
+            assert is_aligned(down, 16)
+
+
+class TestMasks:
+    def test_mask_bits(self):
+        assert mask_bits(0) == 0
+        assert mask_bits(4) == 0b1111
+        assert mask_bits(16) == 0xFFFF
+
+    def test_byte_mask(self):
+        assert byte_mask(0, 4) == 0b1111
+        assert byte_mask(2, 4) == 0b111100
+        assert byte_mask(8, 8) == 0xFF00
+
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+        assert popcount(mask_bits(64)) == 64
+
+    def test_bytes_set(self):
+        assert list(bytes_set(0)) == []
+        assert list(bytes_set(0b101)) == [0, 2]
+        assert list(bytes_set(byte_mask(4, 4))) == [4, 5, 6, 7]
+
+    def test_popcount_matches_bytes_set(self):
+        for mask in (0, 1, 0b1010, 0xF0F0, (1 << 64) - 1):
+            assert popcount(mask) == len(list(bytes_set(mask)))

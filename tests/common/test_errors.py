@@ -1,0 +1,34 @@
+"""The exception hierarchy contract."""
+
+import pytest
+
+from repro.common.errors import (
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+    TraceFormatError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc_type in (ConfigurationError, SimulationError, TraceFormatError):
+            assert issubclass(exc_type, ReproError)
+
+    def test_repro_error_is_exception(self):
+        assert issubclass(ReproError, Exception)
+
+    def test_single_catch_covers_library_errors(self):
+        """A caller can catch everything from the library with one clause."""
+        from repro.cache.config import CacheConfig
+        from repro.common.units import parse_size
+
+        with pytest.raises(ReproError):
+            CacheConfig(size=3000)
+        with pytest.raises(ReproError):
+            parse_size("banana")
+
+    def test_library_errors_are_not_value_errors(self):
+        """Programming errors (TypeError/ValueError) stay distinguishable
+        from configuration errors."""
+        assert not issubclass(ConfigurationError, ValueError)

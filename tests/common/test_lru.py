@@ -1,0 +1,83 @@
+"""Unit tests for repro.common.lru."""
+
+import pytest
+
+from repro.common.lru import LruTracker
+
+
+class TestLruTracker:
+    def test_empty(self):
+        lru = LruTracker()
+        assert len(lru) == 0
+        assert lru.victim() is None
+        assert lru.most_recent() is None
+        assert "x" not in lru
+
+    def test_touch_inserts(self):
+        lru = LruTracker()
+        lru.touch("a")
+        assert "a" in lru
+        assert len(lru) == 1
+        assert lru.victim() == "a"
+        assert lru.most_recent() == "a"
+
+    def test_lru_order(self):
+        lru = LruTracker()
+        for item in "abc":
+            lru.touch(item)
+        assert lru.as_list() == ["a", "b", "c"]
+        assert lru.victim() == "a"
+        assert lru.most_recent() == "c"
+
+    def test_touch_refreshes(self):
+        lru = LruTracker()
+        for item in "abc":
+            lru.touch(item)
+        lru.touch("a")
+        assert lru.as_list() == ["b", "c", "a"]
+        assert lru.victim() == "b"
+
+    def test_evict_removes_lru(self):
+        lru = LruTracker()
+        for item in "abc":
+            lru.touch(item)
+        assert lru.evict() == "a"
+        assert lru.as_list() == ["b", "c"]
+
+    def test_evict_empty_raises(self):
+        with pytest.raises(KeyError):
+            LruTracker().evict()
+
+    def test_discard(self):
+        lru = LruTracker()
+        lru.touch("a")
+        lru.touch("b")
+        assert lru.discard("a") is True
+        assert lru.discard("a") is False
+        assert lru.as_list() == ["b"]
+
+    def test_iteration_is_lru_first(self):
+        lru = LruTracker()
+        for item in (3, 1, 2):
+            lru.touch(item)
+        lru.touch(3)
+        assert list(lru) == [1, 2, 3]
+
+    def test_clear(self):
+        lru = LruTracker()
+        lru.touch("a")
+        lru.clear()
+        assert len(lru) == 0
+        assert lru.victim() is None
+
+    def test_full_eviction_sequence(self):
+        """Simulate a 3-entry fully-associative cache's eviction order."""
+        lru = LruTracker()
+        evicted = []
+        for item in [1, 2, 3, 1, 4, 5, 2]:
+            if item not in lru and len(lru) == 3:
+                evicted.append(lru.evict())
+            lru.touch(item)
+        # After 1,2,3 then touch(1): order 2,3,1; insert 4 evicts 2;
+        # insert 5 evicts 3; insert 2 evicts 1.
+        assert evicted == [2, 3, 1]

@@ -1,0 +1,59 @@
+"""Unit tests for repro.common.render."""
+
+from repro.common.render import ascii_chart, format_series_table, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        text = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        # Columns align: every line has the same width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+        assert text.splitlines()[1] == "=" * len("My Table")
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[3.14159]], float_format="{:.1f}")
+        assert "3.1" in text
+        assert "3.14159" not in text
+
+
+class TestFormatSeriesTable:
+    def test_layout(self):
+        text = format_series_table(
+            "size", [1, 2], {"a": [10.0, 20.0], "b": [1.5, 2.5]}
+        )
+        lines = text.splitlines()
+        assert "size" in lines[0]
+        assert "a" in lines[0] and "b" in lines[0]
+        assert "10.00" in text and "2.50" in text
+        # One row per x value plus header and rule.
+        assert len(lines) == 4
+
+
+class TestAsciiChart:
+    def test_contains_legend_and_marks(self):
+        chart = ascii_chart([1, 2, 3], {"up": [0.0, 5.0, 10.0]})
+        assert "legend" in chart
+        assert "*=up" in chart
+        assert "*" in chart
+
+    def test_multiple_series_distinct_marks(self):
+        chart = ascii_chart([1, 2], {"a": [1.0, 2.0], "b": [2.0, 1.0]})
+        assert "*=a" in chart and "o=b" in chart
+
+    def test_empty_series(self):
+        assert ascii_chart([1], {"a": [float("nan")]}) == "(no data)"
+
+    def test_constant_series_does_not_crash(self):
+        chart = ascii_chart([1, 2, 3], {"flat": [5.0, 5.0, 5.0]})
+        assert "*" in chart
+
+    def test_y_label(self):
+        chart = ascii_chart([1], {"a": [1.0]}, y_label="percent")
+        assert chart.splitlines()[0] == "percent"

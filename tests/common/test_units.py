@@ -1,0 +1,50 @@
+"""Unit tests for repro.common.units."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import format_size, parse_size
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("8KB", 8192),
+            ("8kb", 8192),
+            ("16B", 16),
+            ("16", 16),
+            ("1MB", 1024 * 1024),
+            ("2GB", 2 * 1024**3),
+            (" 4 KB ", 4096),
+        ],
+    )
+    def test_strings(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_int_passthrough(self):
+        assert parse_size(4096) == 4096
+
+    @pytest.mark.parametrize("text", ["", "KB", "8TB", "eight", "-4KB", "8 K B"])
+    def test_rejects_garbage(self, text):
+        with pytest.raises(ConfigurationError):
+            parse_size(text)
+
+
+class TestFormatSize:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (16, "16B"),
+            (8192, "8KB"),
+            (128 * 1024, "128KB"),
+            (1024**2, "1MB"),
+            (1536, "1536B"),  # not a whole KB
+        ],
+    )
+    def test_formats(self, value, expected):
+        assert format_size(value) == expected
+
+    def test_round_trip(self):
+        for value in (4, 16, 64, 1024, 8192, 131072):
+            assert parse_size(format_size(value)) == value

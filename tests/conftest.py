@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite.
+
+Traces are expensive to generate, so the scaled-down corpus used by
+integration-style tests is session-scoped; unit tests build tiny traces
+by hand instead.
+"""
+
+import pytest
+
+from repro.trace.corpus import BENCHMARK_NAMES, load
+from repro.trace.events import READ, WRITE, MemRef
+from repro.trace.trace import Trace
+
+#: Scale used by tests that run real workloads: ~15-40k refs each.
+TEST_SCALE = 0.12
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    """The six benchmarks at test scale, keyed by name."""
+    return {name: load(name, scale=TEST_SCALE) for name in BENCHMARK_NAMES}
+
+
+@pytest.fixture()
+def tiny_trace():
+    """A hand-written trace exercising reads, writes and both sizes."""
+    refs = [
+        MemRef(0x1000, 4, READ),
+        MemRef(0x1004, 4, WRITE),
+        MemRef(0x1008, 8, WRITE, icount=3),
+        MemRef(0x2000, 4, READ, icount=2),
+        MemRef(0x1000, 4, WRITE),
+    ]
+    return Trace.from_refs(refs, name="tiny")
+
+
+def make_trace(ops, name="test"):
+    """Build a trace from compact (kind, address, size) tuples.
+
+    ``kind`` is "r" or "w"; ``size`` defaults to 4.
+    """
+    refs = []
+    for op in ops:
+        kind = READ if op[0] == "r" else WRITE
+        address = op[1]
+        size = op[2] if len(op) > 2 else 4
+        refs.append(MemRef(address, size, kind))
+    return Trace.from_refs(refs, name=name)

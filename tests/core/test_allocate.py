@@ -1,0 +1,135 @@
+"""Allocate instructions vs write-validate (Section 4's comparison)."""
+
+import pytest
+
+from repro.cache.cache import Cache
+from repro.cache.config import CacheConfig
+from repro.cache.fastsim import simulate_trace
+from repro.cache.policies import WriteMissPolicy
+from repro.core.allocate import (
+    allocation_coverage,
+    find_allocatable_runs,
+    simulate_with_allocation,
+)
+from repro.trace.events import READ, WRITE, MemRef
+from repro.trace.trace import Trace
+
+
+def trace_of(ops):
+    refs = []
+    for op in ops:
+        kind = READ if op[0] == "r" else WRITE
+        refs.append(MemRef(op[1], op[2] if len(op) > 2 else 4, kind))
+    return Trace.from_refs(refs)
+
+
+class TestAllocateLine:
+    def test_allocates_full_valid_dirty(self):
+        cache = Cache(CacheConfig(size=64, line_size=16))
+        cache.allocate_line(0x104)
+        line = cache.probe(0x100)
+        assert line.valid_mask == 0xFFFF
+        assert line.dirty_mask == 0xFFFF
+        assert cache.stats.fetches == 0
+        assert cache.stats.extra["line_allocations"] == 1
+
+    def test_displaces_victim(self):
+        cache = Cache(CacheConfig(size=64, line_size=16))
+        cache.write(0x100, 4)  # dirty resident line (fetch-on-write)
+        cache.allocate_line(0x140)  # same set
+        assert cache.stats.writebacks == 1
+
+    def test_subsequent_writes_hit(self):
+        cache = Cache(CacheConfig(size=64, line_size=16))
+        cache.allocate_line(0x100)
+        for offset in range(0, 16, 4):
+            cache.write(0x100 + offset, 4)
+        assert cache.stats.write_hits == 4
+        assert cache.stats.fetches == 0
+
+
+class TestFindAllocatableRuns:
+    def test_full_line_run_found(self):
+        trace = trace_of([("w", 0x100), ("w", 0x104), ("w", 0x108), ("w", 0x10C)])
+        assert find_allocatable_runs(trace, 16) == {0}
+
+    def test_out_of_order_fields_still_found(self):
+        trace = trace_of([("w", 0x108), ("w", 0x100), ("w", 0x10C), ("w", 0x104)])
+        assert find_allocatable_runs(trace, 16) == {0}
+
+    def test_partial_line_not_allocatable(self):
+        trace = trace_of([("w", 0x100), ("w", 0x104)])
+        assert find_allocatable_runs(trace, 16) == set()
+
+    def test_intervening_load_breaks_proof(self):
+        trace = trace_of(
+            [("w", 0x100), ("w", 0x104), ("r", 0x500), ("w", 0x108), ("w", 0x10C)]
+        )
+        assert find_allocatable_runs(trace, 16) == set()
+
+    def test_doubles_cover_lines(self):
+        trace = trace_of([("w", 0x100, 8), ("w", 0x108, 8)])
+        assert find_allocatable_runs(trace, 16) == {0}
+
+    def test_multiple_lines_in_one_run(self):
+        stores = [("w", 0x100 + offset) for offset in range(0, 32, 4)]
+        runs = find_allocatable_runs(trace_of(stores), 16)
+        assert runs == {0, 4}
+
+    def test_coverage_metric(self):
+        trace = trace_of([("w", 0x100 + offset) for offset in range(0, 16, 4)])
+        assert allocation_coverage(trace, 16) == pytest.approx(1.0)
+
+
+class TestPaperComparison:
+    """Abstract: no-fetch + write-allocate beats allocate instructions."""
+
+    def make_copy_trace(self, lines=64, partial_tail=True):
+        """A block copy (allocatable) plus scattered partial-line writes
+        (not allocatable — where write-validate keeps winning)."""
+        ops = []
+        for line in range(lines):
+            base = 0x10_0000 + line * 16
+            ops.append(("r", 0x20_0000 + line * 16, 8))
+            ops.append(("w", base, 8))
+            ops.append(("w", base + 8, 8))
+        if partial_tail:
+            for line in range(lines):
+                ops.append(("w", 0x30_0000 + line * 16, 8))  # half-lines
+                ops.append(("r", 0x40_0000 + line * 4))
+        return trace_of(ops)
+
+    def test_allocation_beats_plain_fetch_on_write(self):
+        trace = self.make_copy_trace()
+        config = CacheConfig(size=4096, line_size=16)
+        plain = simulate_trace(trace, config)
+        allocated = simulate_with_allocation(trace, config)
+        assert allocated.fetches < plain.fetches
+
+    def test_write_validate_beats_allocation(self):
+        """Write-validate matches allocation on provable full-line writes
+        and additionally eliminates the partial-line write misses the
+        allocate instructions must leave to fetch-on-write."""
+        trace = self.make_copy_trace()
+        config = CacheConfig(size=4096, line_size=16)
+        allocated = simulate_with_allocation(trace, config)
+        validate = simulate_trace(
+            trace,
+            CacheConfig(
+                size=4096, line_size=16, write_miss=WriteMissPolicy.WRITE_VALIDATE
+            ),
+        )
+        assert validate.fetches < allocated.fetches
+
+    def test_on_corpus_workload(self, small_corpus):
+        trace = small_corpus["ccom"][:20000]
+        config = CacheConfig(size=8192, line_size=16)
+        plain = simulate_trace(trace, config)
+        allocated = simulate_with_allocation(trace, config)
+        validate = simulate_trace(
+            trace,
+            CacheConfig(
+                size=8192, line_size=16, write_miss=WriteMissPolicy.WRITE_VALIDATE
+            ),
+        )
+        assert validate.fetches <= allocated.fetches <= plain.fetches

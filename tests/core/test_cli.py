@@ -1,0 +1,111 @@
+"""Tests of the top-level CLI (python -m repro)."""
+
+import pytest
+
+from repro.cli import main
+
+from tests.conftest import TEST_SCALE
+
+SCALE = str(TEST_SCALE)
+
+
+class TestSimulate:
+    def test_benchmark_default(self, capsys):
+        assert main(["simulate", "--scale", SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "derived metrics" in out
+        assert "miss ratio" in out
+
+    def test_policy_flags(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--benchmark",
+                    "liver",
+                    "--scale",
+                    SCALE,
+                    "--write-hit",
+                    "write-through",
+                    "--write-miss",
+                    "write-validate",
+                    "--size",
+                    "4KB",
+                    "--line",
+                    "32",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "write-validate" in out
+        assert "validate_allocations" in out
+
+    def test_trace_file_input(self, capsys, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("r 1000 4\nw 1000 4\nw 2000 8 3\n")
+        assert main(["simulate", "--trace", str(path)]) == 0
+        assert "trace:" in capsys.readouterr().out
+
+    def test_din_file_input(self, capsys, tmp_path):
+        path = tmp_path / "t.din"
+        path.write_text("2 0\n0 1000\n1 1004\n")
+        assert main(["simulate", "--din", str(path)]) == 0
+
+    def test_subblock_and_replacement_flags(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--scale",
+                    SCALE,
+                    "--assoc",
+                    "2",
+                    "--replacement",
+                    "fifo",
+                    "--subblock-fetch",
+                    "--subblock-writeback",
+                ]
+            )
+            == 0
+        )
+
+    def test_invalid_combo_raises(self):
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(
+                [
+                    "simulate",
+                    "--scale",
+                    SCALE,
+                    "--write-miss",
+                    "write-around",  # requires write-through
+                ]
+            )
+
+
+class TestOtherCommands:
+    def test_figures(self, capsys):
+        assert main(["figures", "table2"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        assert main(["table1", "--scale", SCALE]) == 0
+        assert "ccom" in capsys.readouterr().out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestCsvExport:
+    def test_figure_to_csv(self):
+        from repro.core.figures import get_figure
+
+        result = get_figure("fig01", scale=TEST_SCALE)
+        csv = result.to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0].startswith("line size (B),")
+        assert len(lines) == 1 + len(result.x_values)
+        assert len(lines[1].split(",")) == 1 + len(result.series)

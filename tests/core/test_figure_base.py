@@ -1,0 +1,58 @@
+"""FigureResult container edge cases."""
+
+import pytest
+
+from repro.core.figures.base import FigureResult
+
+
+def make(series=None, x_values=(1, 2, 3)):
+    return FigureResult(
+        figure_id="figX",
+        title="Test figure",
+        x_label="x",
+        y_label="y",
+        x_values=list(x_values),
+        series=series if series is not None else {"a": [1.0, 2.0, 3.0]},
+    )
+
+
+class TestValidation:
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(ValueError, match="3 x values"):
+            make(series={"a": [1.0, 2.0]})
+
+    def test_value_lookup(self):
+        result = make()
+        assert result.value("a", 2) == 2.0
+
+    def test_value_unknown_x(self):
+        with pytest.raises(ValueError):
+            make().value("a", 99)
+
+    def test_value_unknown_series(self):
+        with pytest.raises(KeyError):
+            make().value("zzz", 1)
+
+
+class TestRendering:
+    def test_render_contains_everything(self):
+        result = make()
+        result.paper_shape = "goes up"
+        result.notes = "synthetic"
+        text = result.render()
+        assert "figX: Test figure" in text
+        assert "paper shape: goes up" in text
+        assert "notes: synthetic" in text
+        assert "legend" in text
+
+    def test_render_without_chart(self):
+        text = make().render(chart=False)
+        assert "legend" not in text
+        assert "figX" in text
+
+    def test_csv_format(self):
+        csv = make(series={"a": [1.0, 2.0, 3.0], "b": [0.5, 0.25, 0.125]}).to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0] == "x,a,b"
+        assert lines[1] == "1,1,0.5"
+        assert lines[3] == "3,3,0.125"

@@ -1,0 +1,134 @@
+"""Smoke + structural tests of every figure driver at reduced scale."""
+
+import pytest
+
+from repro.core.figures import FIGURES, get_figure, render
+from repro.core.figures.base import FigureResult
+from repro.core.figures.write_miss_fig import STRATEGIES
+from repro.trace.corpus import BENCHMARK_NAMES
+
+from tests.conftest import TEST_SCALE
+
+#: Figure ids that return FigureResult (the rest return table strings).
+FIGURE_IDS = [fid for fid in FIGURES if fid.startswith("fig")]
+TABLE_IDS = [fid for fid in FIGURES if fid.startswith("table")]
+
+
+class TestRegistry:
+    def test_every_paper_artifact_present(self):
+        expected = {
+            "table1",
+            "table2",
+            "table3",
+            "fig01",
+            "fig02",
+            "fig05",
+            "fig07",
+            "fig08",
+            "fig09",
+            "fig10",
+            "fig11",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "fig17",
+            "fig18",
+            "fig19",
+            "fig20",
+            "fig21",
+            "fig22",
+            "fig23",
+            "fig24",
+            "fig25",
+        }
+        assert set(FIGURES) == expected
+
+    def test_unknown_figure_rejected(self):
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            get_figure("fig99")
+
+
+@pytest.mark.parametrize("figure_id", FIGURE_IDS)
+def test_figure_structure(figure_id):
+    result = get_figure(figure_id, scale=TEST_SCALE)
+    assert isinstance(result, FigureResult)
+    assert result.figure_id == figure_id
+    assert result.title
+    assert result.x_values
+    assert result.series
+    for name, values in result.series.items():
+        assert len(values) == len(result.x_values), name
+        for value in values:
+            assert value == value, f"NaN in {figure_id}/{name}"
+    text = result.render()
+    assert result.title in text
+    assert "legend" in text
+
+
+@pytest.mark.parametrize("table_id", TABLE_IDS)
+def test_table_renders(table_id):
+    text = get_figure(table_id, scale=TEST_SCALE)
+    assert isinstance(text, str)
+    assert "Table" in text
+
+
+class TestSeriesContents:
+    def test_per_benchmark_figures_have_all_curves(self):
+        for figure_id in ("fig01", "fig02", "fig07", "fig10"):
+            result = get_figure(figure_id, scale=TEST_SCALE)
+            for name in BENCHMARK_NAMES:
+                assert name in result.series, (figure_id, name)
+            assert "average" in result.series
+
+    def test_strategy_figures_have_three_curves(self):
+        for figure_id in ("fig13", "fig14", "fig15", "fig16"):
+            result = get_figure(figure_id, scale=TEST_SCALE)
+            assert set(result.series) == {policy.value for policy in STRATEGIES}
+            assert set(result.extra["per_workload"]) == set(result.series)
+
+    def test_percent_figures_in_range(self):
+        for figure_id in ("fig01", "fig02", "fig10", "fig11", "fig20", "fig21", "fig22"):
+            result = get_figure(figure_id, scale=TEST_SCALE)
+            for name, values in result.series.items():
+                for value in values:
+                    assert -0.01 <= value <= 100.01, (figure_id, name, value)
+
+    def test_fig17_no_partial_order_violations(self):
+        result = get_figure("fig17", scale=TEST_SCALE)
+        assert result.extra["violations"] == []
+
+    def test_fig18_traffic_components(self):
+        result = get_figure("fig18", scale=TEST_SCALE)
+        assert set(result.series) == {
+            "write-through",
+            "write-back",
+            "write misses",
+            "read misses",
+        }
+        # Write-through totals dominate each component everywhere.
+        for index in range(len(result.x_values)):
+            assert result.series["write-through"][index] >= result.series["read misses"][index]
+
+    def test_value_lookup(self):
+        result = get_figure("fig02", scale=TEST_SCALE)
+        assert result.value("average", 8) == result.series["average"][3]
+        with pytest.raises(ValueError):
+            result.value("average", 3)
+
+
+class TestCli:
+    def test_main_renders_requested(self, capsys):
+        from repro.core.figures.__main__ import main
+
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+
+    def test_main_with_scale(self, capsys):
+        from repro.core.figures.__main__ import main
+
+        assert main(["fig01", "--scale", str(TEST_SCALE)]) == 0
+        assert "fig01" in capsys.readouterr().out

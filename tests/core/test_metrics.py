@@ -1,0 +1,95 @@
+"""Unit tests for repro.core.metrics."""
+
+import pytest
+
+from repro.cache.policies import WriteMissPolicy
+from repro.cache.stats import CacheStats
+from repro.core.metrics import (
+    PARTIAL_ORDER,
+    mean,
+    partial_order_violations,
+    total_miss_reduction,
+    write_miss_reduction,
+)
+
+
+def stats(fetches, write_misses=0):
+    s = CacheStats()
+    s.fetches = fetches
+    s.write_misses = write_misses
+    return s
+
+
+class TestReductions:
+    def test_write_miss_reduction(self):
+        fow = stats(fetches=100, write_misses=40)
+        policy = stats(fetches=70)
+        assert write_miss_reduction(fow, policy) == pytest.approx(75.0)
+
+    def test_write_miss_reduction_can_exceed_100(self):
+        """The liver phenomenon: saved read misses count too."""
+        fow = stats(fetches=100, write_misses=20)
+        policy = stats(fetches=75)
+        assert write_miss_reduction(fow, policy) == pytest.approx(125.0)
+
+    def test_total_miss_reduction(self):
+        fow = stats(fetches=100, write_misses=40)
+        policy = stats(fetches=70)
+        assert total_miss_reduction(fow, policy) == pytest.approx(30.0)
+
+    def test_zero_baselines(self):
+        assert write_miss_reduction(stats(0, 0), stats(0)) == 0.0
+        assert total_miss_reduction(stats(0, 0), stats(0)) == 0.0
+
+    def test_figures_13_14_relationship(self):
+        """Fig 14 = Fig 13 x Fig 10 (write-miss fraction)."""
+        fow = stats(fetches=100, write_misses=25)
+        policy = stats(fetches=80)
+        fig13 = write_miss_reduction(fow, policy)
+        fig10_fraction = 25 / 100
+        assert total_miss_reduction(fow, policy) == pytest.approx(
+            fig13 * fig10_fraction
+        )
+
+
+class TestPartialOrder:
+    def test_five_guaranteed_relations(self):
+        assert len(PARTIAL_ORDER) == 5
+        pairs = set(PARTIAL_ORDER)
+        # validate-vs-around is deliberately not ordered.
+        assert (WriteMissPolicy.WRITE_VALIDATE, WriteMissPolicy.WRITE_AROUND) not in pairs
+        assert (WriteMissPolicy.WRITE_AROUND, WriteMissPolicy.WRITE_VALIDATE) not in pairs
+
+    def test_no_violation_when_ordered(self):
+        by_policy = {
+            WriteMissPolicy.FETCH_ON_WRITE: stats(100),
+            WriteMissPolicy.WRITE_INVALIDATE: stats(90),
+            WriteMissPolicy.WRITE_AROUND: stats(70),
+            WriteMissPolicy.WRITE_VALIDATE: stats(60),
+        }
+        assert partial_order_violations(by_policy) == []
+
+    def test_violation_reported(self):
+        by_policy = {
+            WriteMissPolicy.FETCH_ON_WRITE: stats(50),
+            WriteMissPolicy.WRITE_INVALIDATE: stats(90),
+        }
+        violations = partial_order_violations(by_policy)
+        assert len(violations) == 1
+        assert "write-invalidate" in violations[0]
+
+    def test_missing_policies_skipped(self):
+        assert partial_order_violations({WriteMissPolicy.FETCH_ON_WRITE: stats(1)}) == []
+
+    def test_equal_fetches_allowed(self):
+        by_policy = {
+            WriteMissPolicy.WRITE_VALIDATE: stats(50),
+            WriteMissPolicy.FETCH_ON_WRITE: stats(50),
+        }
+        assert partial_order_violations(by_policy) == []
+
+
+class TestMean:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+        assert mean([]) == 0.0

@@ -1,0 +1,109 @@
+"""The closed-form models must agree with simulation."""
+
+import pytest
+
+from repro.buffers.write_buffer import CoalescingWriteBuffer
+from repro.cache.config import CacheConfig
+from repro.cache.fastsim import simulate_trace
+from repro.cache.policies import WriteMissPolicy
+from repro.common.errors import ConfigurationError
+from repro.core.models import (
+    copy_bandwidth_penalty,
+    min_merge_fraction_for_stall_free,
+    predicted_writeback_transactions,
+    write_bandwidth_ratio,
+    write_buffer_stall_floor,
+    writeback_identity_holds,
+)
+from repro.trace.corpus import BENCHMARK_NAMES
+
+from tests.conftest import TEST_SCALE
+
+
+class TestWritebackIdentity:
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    @pytest.mark.parametrize("size", [1024, 8192, 65536])
+    def test_identity_on_corpus(self, small_corpus, name, size):
+        stats = simulate_trace(small_corpus[name], CacheConfig(size=size, line_size=16))
+        assert writeback_identity_holds(stats), name
+
+    def test_identity_under_write_validate(self, small_corpus):
+        stats = simulate_trace(
+            small_corpus["ccom"],
+            CacheConfig(size=4096, line_size=16, write_miss=WriteMissPolicy.WRITE_VALIDATE),
+        )
+        assert writeback_identity_holds(stats)
+
+    def test_prediction_value(self, small_corpus):
+        stats = simulate_trace(small_corpus["grr"], CacheConfig(size=2048, line_size=16))
+        predicted = predicted_writeback_transactions(stats)
+        assert predicted == stats.writebacks + stats.flushed_dirty_lines
+
+
+class TestStallFloor:
+    def test_zero_when_drain_keeps_up(self):
+        assert write_buffer_stall_floor(0.1, 0.0, 5) == 0.0
+
+    def test_positive_when_oversubscribed(self):
+        # 0.2 writes/instr, no merging, 10-cycle drain: 2 cycles of drain
+        # work per 1 cycle of execution -> at least 1 stall cycle/instr.
+        assert write_buffer_stall_floor(0.2, 0.0, 10) == pytest.approx(1.0)
+
+    def test_merging_lowers_floor(self):
+        high = write_buffer_stall_floor(0.2, 0.0, 10)
+        low = write_buffer_stall_floor(0.2, 0.5, 10)
+        assert low < high
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            write_buffer_stall_floor(0.1, 1.5, 5)
+        with pytest.raises(ConfigurationError):
+            write_buffer_stall_floor(-0.1, 0.5, 5)
+
+    @pytest.mark.parametrize("interval", [8, 20, 40])
+    def test_simulation_respects_floor(self, small_corpus, interval):
+        """Measured stall CPI never beats the steady-state floor computed
+        from the measured merge fraction, up to the end-of-run residue
+        (entries still buffered at the end were never charged drain
+        time: at most entries x interval cycles)."""
+        trace = small_corpus["grr"]
+        stats = CoalescingWriteBuffer(entries=8, retire_interval=interval).simulate(trace)
+        writes_per_instruction = stats.writes / stats.instructions
+        floor = write_buffer_stall_floor(
+            writes_per_instruction, stats.merge_fraction, interval
+        )
+        end_effect = 8 * interval / stats.instructions
+        assert stats.stall_cpi >= floor - end_effect - 1e-9
+
+    def test_paper_38_cycle_arithmetic(self):
+        """At the suite's write density, 38-cycle retirement demands ~75%
+        merging for stall-free operation — the Fig. 5 tension."""
+        required = min_merge_fraction_for_stall_free(0.113, 38)
+        assert 0.70 < required < 0.80
+
+    def test_min_merge_zero_for_fast_drain(self):
+        assert min_merge_fraction_for_stall_free(0.1, 5) == 0.0
+
+
+class TestBandwidthRatio:
+    def test_paper_half_claim_order_of_magnitude(self, small_corpus):
+        """Section 5: write bandwidth ~ half of read bandwidth on average."""
+        ratios = []
+        for name in BENCHMARK_NAMES:
+            stats = simulate_trace(
+                small_corpus[name], CacheConfig(size=8192, line_size=16)
+            )
+            ratios.append(write_bandwidth_ratio(stats))
+        average = sum(ratios) / len(ratios)
+        assert 0.2 < average < 0.9
+
+    def test_zero_fetches(self):
+        from repro.cache.stats import CacheStats
+
+        assert write_bandwidth_ratio(CacheStats()) == 0.0
+
+
+class TestCopyPenalty:
+    def test_three_to_two(self):
+        assert copy_bandwidth_penalty(True) == pytest.approx(2 / 3)
+        assert copy_bandwidth_penalty(False) == 1.0

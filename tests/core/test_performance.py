@@ -1,0 +1,104 @@
+"""Tests of the CPI estimation model."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.fastsim import simulate_trace
+from repro.cache.policies import WriteHitPolicy, WriteMissPolicy
+from repro.cache.stats import CacheStats
+from repro.common.errors import ConfigurationError
+from repro.core.performance import estimate_performance
+from repro.hierarchy.timing import MemoryTiming
+
+
+def synthetic_stats(**overrides) -> CacheStats:
+    stats = CacheStats(line_size=16)
+    stats.instructions = 1000
+    for key, value in overrides.items():
+        setattr(stats, key, value)
+    return stats
+
+
+class TestTiming:
+    def test_transaction_cycles(self):
+        timing = MemoryTiming(transaction_overhead=4, cycles_per_byte=0.5)
+        assert timing.transaction_cycles(16) == pytest.approx(12.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MemoryTiming(fetch_latency=-1)
+        with pytest.raises(ConfigurationError):
+            MemoryTiming(cycles_per_byte=-0.1)
+
+
+class TestEstimate:
+    def test_no_traffic_is_base_cpi(self):
+        estimate = estimate_performance(synthetic_stats())
+        assert estimate.cpi == pytest.approx(1.0)
+
+    def test_fetch_latency_charged(self):
+        stats = synthetic_stats(fetches=10, fetch_bytes=160)
+        timing = MemoryTiming(fetch_latency=20, transaction_overhead=0, cycles_per_byte=0)
+        estimate = estimate_performance(stats, timing)
+        assert estimate.fetch_stall_cycles == 200
+        assert estimate.cpi == pytest.approx(1.2)
+
+    def test_hidden_writes_free_until_port_saturates(self):
+        timing = MemoryTiming(fetch_latency=0, transaction_overhead=10, cycles_per_byte=0)
+        light = estimate_performance(synthetic_stats(write_throughs=50), timing)
+        assert light.port_overflow_cycles == 0.0
+        heavy = estimate_performance(synthetic_stats(write_throughs=200), timing)
+        assert heavy.port_overflow_cycles == pytest.approx(2000 - 1000)
+
+    def test_unhidden_writes_always_cost(self):
+        timing = MemoryTiming(
+            fetch_latency=0, transaction_overhead=10, cycles_per_byte=0, writes_hidden=False
+        )
+        estimate = estimate_performance(synthetic_stats(write_throughs=50), timing)
+        assert estimate.port_overflow_cycles == pytest.approx(500)
+
+    def test_flush_traffic_optional(self):
+        stats = synthetic_stats(flushed_dirty_lines=100, flush_writeback_bytes=1600)
+        timing = MemoryTiming(
+            fetch_latency=0, transaction_overhead=20, cycles_per_byte=0, writes_hidden=False
+        )
+        without = estimate_performance(stats, timing)
+        with_flush = estimate_performance(stats, timing, include_flush_traffic=True)
+        assert with_flush.total_cycles > without.total_cycles
+
+
+class TestPolicyPerformance:
+    """The model must reproduce the paper's performance arguments."""
+
+    def test_write_validate_beats_fetch_on_write(self, small_corpus):
+        trace = small_corpus["ccom"]
+        results = {}
+        for policy in (WriteMissPolicy.FETCH_ON_WRITE, WriteMissPolicy.WRITE_VALIDATE):
+            config = CacheConfig(
+                size=8192,
+                line_size=16,
+                write_hit=WriteHitPolicy.WRITE_THROUGH,
+                write_miss=policy,
+            )
+            results[policy] = estimate_performance(simulate_trace(trace, config))
+        assert (
+            results[WriteMissPolicy.WRITE_VALIDATE].cpi
+            < results[WriteMissPolicy.FETCH_ON_WRITE].cpi
+        )
+
+    def test_write_back_saves_port_cycles_at_saturation(self, small_corpus):
+        """With a slow port, the write-through cache's store traffic
+        overflows into stalls the write-back cache avoids."""
+        trace = small_corpus["grr"]
+        timing = MemoryTiming(fetch_latency=20, transaction_overhead=12, cycles_per_byte=1.0)
+        wt = estimate_performance(
+            simulate_trace(
+                trace,
+                CacheConfig(size=8192, line_size=16, write_hit=WriteHitPolicy.WRITE_THROUGH),
+            ),
+            timing,
+        )
+        wb = estimate_performance(
+            simulate_trace(trace, CacheConfig(size=8192, line_size=16)), timing
+        )
+        assert wb.cpi <= wt.cpi

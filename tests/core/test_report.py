@@ -1,0 +1,71 @@
+"""Tests of the report generator and its CLI command."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.report import generate_report
+
+from tests.conftest import TEST_SCALE
+
+
+class TestGenerateReport:
+    def test_subset_report(self, tmp_path):
+        index = generate_report(
+            str(tmp_path / "out"),
+            figure_ids=["table2", "fig01"],
+            scale=TEST_SCALE,
+        )
+        directory = index.parent
+        assert index.name == "INDEX.md"
+        assert (directory / "table2.txt").exists()
+        assert (directory / "fig01.txt").exists()
+        assert (directory / "fig01.csv").exists()
+        assert (directory / "headline.txt").exists()
+        index_text = index.read_text()
+        assert "fig01" in index_text and "table2" in index_text
+
+    def test_tables_have_no_csv(self, tmp_path):
+        index = generate_report(
+            str(tmp_path / "out"), figure_ids=["table2"], scale=TEST_SCALE
+        )
+        assert not (index.parent / "table2.csv").exists()
+
+    def test_csv_disabled(self, tmp_path):
+        index = generate_report(
+            str(tmp_path / "out"),
+            figure_ids=["fig01"],
+            scale=TEST_SCALE,
+            csv=False,
+        )
+        assert not (index.parent / "fig01.csv").exists()
+
+    def test_csv_matches_figure(self, tmp_path):
+        from repro.core.figures import get_figure
+
+        index = generate_report(
+            str(tmp_path / "out"), figure_ids=["fig11"], scale=TEST_SCALE
+        )
+        csv_text = (index.parent / "fig11.csv").read_text()
+        result = get_figure("fig11", scale=TEST_SCALE)
+        assert csv_text == result.to_csv()
+
+
+class TestReportCli:
+    def test_report_command(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "report",
+                    "--out",
+                    str(tmp_path / "r"),
+                    "--figures",
+                    "table2",
+                    "--scale",
+                    str(TEST_SCALE),
+                    "--no-csv",
+                ]
+            )
+            == 0
+        )
+        assert "report written" in capsys.readouterr().out
+        assert (tmp_path / "r" / "INDEX.md").exists()

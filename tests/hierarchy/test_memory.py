@@ -1,0 +1,73 @@
+"""Unit tests for repro.hierarchy.memory."""
+
+import pytest
+
+from repro.hierarchy.memory import MainMemory, TrafficMeter
+
+
+class TestTrafficMeter:
+    def test_aggregates(self):
+        meter = TrafficMeter(
+            fetches=2,
+            fetch_bytes=32,
+            writebacks=1,
+            writeback_bytes=16,
+            write_throughs=3,
+            write_through_bytes=12,
+        )
+        assert meter.transactions == 6
+        assert meter.bytes_total == 60
+        assert meter.write_transactions == 4
+
+
+class TestCounting:
+    def test_fetch_counts(self):
+        memory = MainMemory()
+        memory.fetch(0x100, 16)
+        memory.fetch(0x200, 32)
+        assert memory.meter.fetches == 2
+        assert memory.meter.fetch_bytes == 48
+
+    def test_write_back_counts(self):
+        memory = MainMemory()
+        memory.write_back(0x100, 16, 0xF)
+        assert memory.meter.writebacks == 1
+        assert memory.meter.writeback_bytes == 16
+
+    def test_write_through_counts(self):
+        memory = MainMemory()
+        memory.write_through(0x100, 8)
+        assert memory.meter.write_throughs == 1
+        assert memory.meter.write_through_bytes == 8
+
+    def test_stats_only_fetch_returns_none(self):
+        assert MainMemory().fetch(0x0, 16) is None
+
+
+class TestDataMode:
+    def test_poke_peek(self):
+        memory = MainMemory(store_data=True)
+        memory.poke(0x100, b"\x01\x02\x03")
+        assert memory.peek(0x100, 3) == b"\x01\x02\x03"
+        assert memory.peek(0x103, 2) == b"\x00\x00"  # unwritten reads as zero
+        assert memory.meter.transactions == 0  # poke/peek are free
+
+    def test_fetch_returns_contents(self):
+        memory = MainMemory(store_data=True)
+        memory.poke(0x100, bytes(range(16)))
+        assert memory.fetch(0x100, 16) == bytes(range(16))
+
+    def test_write_through_stores_data(self):
+        memory = MainMemory(store_data=True)
+        memory.write_through(0x104, 4, data=b"abcd")
+        assert memory.peek(0x104, 4) == b"abcd"
+
+    def test_write_back_honours_dirty_mask(self):
+        memory = MainMemory(store_data=True)
+        memory.poke(0x100, b"\xAA" * 16)
+        victim = bytes(range(16))
+        memory.write_back(0x100, 16, dirty_mask=0x00F0, data=victim)
+        # Only bytes 4-7 (the dirty ones) are authoritative.
+        assert memory.peek(0x100, 4) == b"\xAA" * 4
+        assert memory.peek(0x104, 4) == bytes(range(4, 8))
+        assert memory.peek(0x108, 8) == b"\xAA" * 8

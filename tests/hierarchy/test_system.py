@@ -1,0 +1,80 @@
+"""Integration tests of system composition (L1 + buffers + memory)."""
+
+import pytest
+
+from repro.cache.cache import Cache
+from repro.cache.config import CacheConfig
+from repro.cache.policies import WriteHitPolicy, WriteMissPolicy
+from repro.hierarchy.memory import MainMemory
+from repro.hierarchy.system import CacheLevelBackend, CacheSystem
+
+
+class TestCacheSystem:
+    def test_write_through_traffic_reaches_memory(self, small_corpus):
+        trace = small_corpus["ccom"][:5000]
+        system = CacheSystem(
+            CacheConfig(size=1024, line_size=16, write_hit=WriteHitPolicy.WRITE_THROUGH)
+        )
+        stats = system.run(trace)
+        meter = system.memory_traffic
+        assert meter.fetches == stats.fetches
+        assert meter.write_throughs == stats.write_throughs
+
+    def test_write_cache_reduces_memory_write_transactions(self, small_corpus):
+        trace = small_corpus["ccom"][:8000]
+        plain = CacheSystem(
+            CacheConfig(size=1024, line_size=16, write_hit=WriteHitPolicy.WRITE_THROUGH)
+        )
+        plain.run(trace)
+        buffered = CacheSystem(
+            CacheConfig(size=1024, line_size=16, write_hit=WriteHitPolicy.WRITE_THROUGH),
+            write_cache_entries=5,
+        )
+        buffered.run(trace)
+        assert (
+            buffered.memory_traffic.write_transactions
+            < plain.memory_traffic.write_transactions
+        )
+        # Fetch traffic is untouched by the write cache.
+        assert buffered.memory_traffic.fetches == plain.memory_traffic.fetches
+
+    def test_write_cache_requires_write_through(self):
+        with pytest.raises(ValueError):
+            CacheSystem(CacheConfig(size=1024, line_size=16), write_cache_entries=4)
+
+    def test_write_back_system_flush_traffic(self, small_corpus):
+        trace = small_corpus["yacc"][:5000]
+        system = CacheSystem(CacheConfig(size=1024, line_size=16))
+        stats = system.run(trace, flush=True)
+        meter = system.memory_traffic
+        assert meter.writebacks == stats.writebacks + stats.flushed_dirty_lines
+
+
+class TestTwoLevel:
+    def test_l2_sees_l1_misses_only(self, small_corpus):
+        trace = small_corpus["met"][:5000]
+        l2_memory = MainMemory()
+        l2 = Cache(CacheConfig(size=16 * 1024, line_size=16), backend=l2_memory)
+        l1 = Cache(
+            CacheConfig(size=1024, line_size=16, write_hit=WriteHitPolicy.WRITE_THROUGH),
+            backend=CacheLevelBackend(l2),
+        )
+        l1.run(trace)
+        # Every L1 fetch appears as one L2 line-sized read access.
+        assert l2.stats.reads == l1.stats.fetches
+        assert l2.stats.writes == l1.stats.write_throughs
+        # The L2 filters: its misses are far fewer than its accesses.
+        assert l2.stats.fetches < l2.stats.reads + l2.stats.writes
+
+    def test_write_back_extent_split_counts(self):
+        # Dirty mask with two extents: bytes 0-3 (one 4 B store) and
+        # bytes 8-15 (one aligned 8 B store).
+        l2 = Cache(CacheConfig(size=1024, line_size=16))
+        CacheLevelBackend(l2).write_back(0x100, 16, dirty_mask=0xFF0F)
+        assert l2.stats.writes == 2
+        assert l2.stats.write_line_accesses == 2
+
+    def test_full_line_writeback_is_two_doubles(self):
+        l2 = Cache(CacheConfig(size=1024, line_size=16))
+        CacheLevelBackend(l2).write_back(0x100, 16, dirty_mask=0xFFFF)
+        assert l2.stats.writes == 2  # two aligned 8 B stores

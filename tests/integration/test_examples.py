@@ -1,0 +1,41 @@
+"""Every example script must run cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+#: (script, extra CLI args to keep the run fast)
+EXAMPLES = [
+    ("quickstart.py", ["--scale", "0.05"]),
+    ("block_copy.py", ["--kilobytes", "16"]),
+    ("write_traffic_reduction.py", ["--scale", "0.05"]),
+    ("pipeline_tradeoffs.py", []),
+    ("custom_workloads_and_traces.py", []),
+    ("victim_structures_study.py", ["--scale", "0.05"]),
+]
+
+
+@pytest.mark.parametrize("script,args", EXAMPLES)
+def test_example_runs(script, args, tmp_path):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), script
+    result = subprocess.run(
+        [sys.executable, str(path)] + args,
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=str(tmp_path),  # examples must not depend on the CWD
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), f"{script} printed nothing"
+
+
+def test_examples_list_is_complete():
+    """Every example on disk is exercised here."""
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    tested = {script for script, _ in EXAMPLES}
+    assert on_disk == tested

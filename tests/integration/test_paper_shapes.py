@@ -1,0 +1,138 @@
+"""Integration: the paper's qualitative shapes hold on the full corpus.
+
+These run the real (scale=1.0) workloads, sharing the process-wide run
+cache with any other full-scale consumer.  They are the regression net
+for DESIGN.md section 5's shape targets.
+"""
+
+import pytest
+
+from repro.core.figures import get_figure
+from repro.core.headline import headline_claims
+
+
+@pytest.fixture(scope="module")
+def figures():
+    """Full-scale figures, computed once per test session."""
+    ids = ("fig01", "fig02", "fig07", "fig08", "fig10", "fig13", "fig14", "fig17")
+    return {figure_id: get_figure(figure_id) for figure_id in ids}
+
+
+class TestWriteHitShapes:
+    def test_dirty_fraction_rises_with_line_size(self, figures):
+        average = figures["fig01"].series["average"]
+        assert all(a < b for a, b in zip(average, average[1:]))
+
+    def test_numeric_codes_4b_equals_8b(self, figures):
+        for name in ("linpack", "liver"):
+            series = figures["fig01"].series[name]
+            assert series[0] == pytest.approx(series[1], abs=1.0), name
+
+    def test_numeric_halving_pattern(self, figures):
+        """Beyond 8 B, remaining write traffic ~halves per doubling:
+        the dirty fraction goes ~0 -> ~50% -> ~75% -> ~87.5%."""
+        for name in ("linpack", "liver"):
+            series = figures["fig01"].series[name]
+            line_16, line_32, line_64 = series[2], series[3], series[4]
+            assert 40 <= line_16 <= 60, name
+            assert 65 <= line_32 <= 85, name
+            assert 80 <= line_64 <= 95, name
+
+    def test_good_locality_benchmarks_reach_80_percent(self, figures):
+        fig02 = figures["fig02"]
+        for name in ("grr", "yacc", "met"):
+            assert fig02.value(name, 128) >= 80, name
+
+    def test_liver_below_two_writes_per_double_until_past_64kb(self, figures):
+        """Section 3: "even for 32KB caches linpack and liver still write a
+        double-precision value less than two times on average while it is
+        mapped" — i.e. at most ~50% of writes hit dirty 16 B lines — with
+        the jump to real write locality only once everything fits
+        (128 KB)."""
+        fig02 = figures["fig02"]
+        for size_kb in (8, 16, 32, 64):
+            assert fig02.value("liver", size_kb) <= 55
+        assert fig02.value("liver", 128) > 80
+        # Mapping conflicts crush it entirely at the smallest sizes.
+        assert fig02.value("liver", 4) < 10
+
+    def test_average_rises_with_cache_size(self, figures):
+        average = figures["fig02"].series["average"]
+        assert average[-1] > average[0]
+
+
+class TestWriteCacheShapes:
+    def test_knee_at_about_five_entries(self, figures):
+        average = figures["fig07"].series["average"]
+        at_5 = figures["fig07"].value("average", 5)
+        at_16 = figures["fig07"].value("average", 16)
+        # Five entries capture the bulk of what sixteen do.
+        assert at_5 >= 0.9 * at_16
+
+    def test_numeric_codes_near_zero(self, figures):
+        for name in ("linpack", "liver"):
+            assert figures["fig07"].value(name, 5) < 10, name
+
+    def test_liver_write_cache_beats_4kb_wb_cache(self, figures):
+        """Fig. 8: mapping conflicts make the fully-associative write
+        cache outperform the direct-mapped write-back cache on liver."""
+        assert figures["fig08"].value("liver", 8) > 100
+
+    def test_monotone_in_entries(self, figures):
+        average = figures["fig07"].series["average"]
+        assert all(a <= b + 1e-9 for a, b in zip(average, average[1:]))
+
+
+class TestWriteMissShapes:
+    def test_validate_removes_most_write_misses(self, figures):
+        series = figures["fig13"].series["write-validate"]
+        assert all(value > 90 for value in series)
+
+    def test_strategy_ordering_on_average(self, figures):
+        fig13 = figures["fig13"]
+        for index in range(len(fig13.x_values)):
+            validate = fig13.series["write-validate"][index]
+            invalidate = fig13.series["write-invalidate"][index]
+            assert validate >= invalidate
+
+    def test_liver_write_around_crossover(self, figures):
+        """Write-around beats write-validate only on liver, at the sizes
+        where inputs fit but results do not."""
+        per_workload = figures["fig14"].extra["per_workload"]
+        x_values = list(figures["fig14"].x_values)
+        index_32 = x_values.index(32)
+        assert (
+            per_workload["write-around"]["liver"][index_32]
+            > per_workload["write-validate"]["liver"][index_32]
+        )
+        # ...and not on ccom (a read-what-you-wrote program).
+        assert (
+            per_workload["write-around"]["ccom"][index_32]
+            < per_workload["write-validate"]["ccom"][index_32]
+        )
+
+    def test_linpack_immune_to_write_miss_policy(self, figures):
+        """Read-modify-write code: almost all writes are preceded by
+        reads, so no strategy helps (Section 4's linpack discussion)."""
+        per_workload = figures["fig14"].extra["per_workload"]
+        for policy in per_workload:
+            assert max(per_workload[policy]["linpack"]) < 3
+
+    def test_partial_order_never_violated(self, figures):
+        assert figures["fig17"].extra["violations"] == []
+
+    def test_write_misses_significant_share(self, figures):
+        average = figures["fig10"].series["average"]
+        assert max(average) > 15
+
+
+class TestHeadlineClaims:
+    def test_all_claims_within_band(self):
+        claims = headline_claims()
+        out_of_band = [c.name for c in claims if not c.within_band]
+        assert not out_of_band, out_of_band
+
+    def test_five_entry_write_cache_near_paper(self):
+        claims = {c.name: c for c in headline_claims()}
+        claim = claims["five-entry write cache removes % of all writes"]
+        assert claim.measured == pytest.approx(claim.paper_value, abs=15)

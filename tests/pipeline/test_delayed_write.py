@@ -1,0 +1,133 @@
+"""Unit + property tests for the delayed-write register model (Fig. 4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.config import CacheConfig
+from repro.common.errors import ConfigurationError
+from repro.cache.policies import WriteHitPolicy
+from repro.hierarchy.memory import MainMemory
+from repro.pipeline.delayed_write import DelayedWriteCache
+
+
+def make(dirty_bit_with_tag=False):
+    memory = MainMemory(store_data=True)
+    cache = DelayedWriteCache(
+        CacheConfig(size=64, line_size=16, store_data=True),
+        backend=memory,
+        dirty_bit_with_tag=dirty_bit_with_tag,
+    )
+    return cache, memory
+
+
+class TestConstruction:
+    def test_rejects_write_through(self):
+        with pytest.raises(ConfigurationError):
+            DelayedWriteCache(
+                CacheConfig(size=64, line_size=16, write_hit=WriteHitPolicy.WRITE_THROUGH)
+            )
+
+
+class TestForwarding:
+    def test_read_of_pending_write_forwarded(self):
+        cache, _ = make()
+        cache.write(0x100, 4, data=b"abcd")
+        out = bytearray(4)
+        cache.read(0x100, 4, into=out)
+        assert bytes(out) == b"abcd"
+        assert cache.forwarded_reads == 1
+        # The write has not reached the cache array yet.
+        assert cache.cache.stats.writes == 0
+
+    def test_next_store_retires_pending(self):
+        cache, _ = make()
+        cache.write(0x100, 4, data=b"abcd")
+        cache.write(0x200, 4, data=b"wxyz")
+        assert cache.cache.stats.writes == 1  # the first retired
+        out = bytearray(4)
+        cache.read(0x100, 4, into=out)
+        assert bytes(out) == b"abcd"  # served from the cache now
+        assert cache.forwarded_reads == 0
+
+    def test_partial_overlap_forces_retirement(self):
+        cache, _ = make()
+        cache.write(0x100, 8, data=b"abcdefgh")
+        out = bytearray(4)
+        cache.read(0x104, 4, into=out)  # covered: forwarded
+        assert bytes(out) == b"efgh"
+        cache.write(0x108, 4, data=b"1234")
+        wide = bytearray(8)
+        cache.read(0x104, 8, into=wide)  # overlaps pending write partially
+        assert bytes(wide) == b"efgh1234"
+        assert cache.forwarded_reads == 1
+
+    def test_drain_flushes_pending(self):
+        cache, memory = make()
+        cache.write(0x100, 4, data=b"abcd")
+        cache.drain()
+        cache.cache.flush()
+        assert memory.peek(0x100, 4) == b"abcd"
+
+
+class TestCycleAccounting:
+    def test_one_cycle_per_operation(self):
+        cache, _ = make()
+        cache.write(0x100, 4, data=b"aaaa")
+        cache.write(0x104, 4, data=b"bbbb")
+        cache.read(0x100, 4)
+        assert cache.cycles == 3
+
+    def test_dirty_bit_with_tag_charges_first_write_to_clean_line(self):
+        cache, _ = make(dirty_bit_with_tag=True)
+        cache.write(0x100, 4, data=b"aaaa")
+        cache.write(0x104, 4, data=b"bbbb")  # retires #1: line clean -> +1
+        cache.write(0x108, 4, data=b"cccc")  # retires #2: line now dirty
+        cache.drain()  # retires #3: line still dirty
+        assert cache.extra_dirty_cycles == 1
+
+    def test_dirty_bit_with_tag_charges_each_new_line(self):
+        cache, _ = make(dirty_bit_with_tag=True)
+        cache.write(0x100, 4, data=b"aaaa")
+        cache.write(0x200, 4, data=b"bbbb")  # different line
+        cache.drain()
+        assert cache.extra_dirty_cycles == 2
+
+    def test_partial_overlap_costs_extra_cycle(self):
+        cache, _ = make()
+        cache.write(0x100, 8, data=b"abcdefgh")
+        baseline = cache.cycles
+        wide = bytearray(16)
+        cache.read(0x100, 16, into=wide)
+        assert cache.cycles == baseline + 2  # read + forced retirement
+
+
+@st.composite
+def mixed_ops(draw):
+    count = draw(st.integers(min_value=1, max_value=40))
+    ops = []
+    for _ in range(count):
+        is_write = draw(st.booleans())
+        slot = draw(st.integers(min_value=0, max_value=31))
+        ops.append((is_write, slot * 4))
+    return ops
+
+
+class TestPropertyForwarding:
+    @given(ops=mixed_ops())
+    @settings(max_examples=40, deadline=None)
+    def test_always_reads_latest_value(self, ops):
+        cache, _ = make()
+        model = {}
+        counter = 0
+        for is_write, address in ops:
+            if is_write:
+                counter += 1
+                data = bytes(((counter + i) % 250 + 1) for i in range(4))
+                model[address] = data
+                cache.write(address, 4, data=data)
+            else:
+                out = bytearray(4)
+                cache.read(address, 4, into=out)
+                expected = model.get(address, b"\x00\x00\x00\x00")
+                assert bytes(out) == expected

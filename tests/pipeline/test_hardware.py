@@ -1,0 +1,84 @@
+"""Unit tests for repro.pipeline.hardware (Tables 2-3, error codes)."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.policies import WriteHitPolicy
+from repro.common.errors import ConfigurationError
+from repro.pipeline.hardware import (
+    compare_hit_policies,
+    error_protection_overhead,
+    hardware_requirements,
+    state_overhead_bits,
+)
+
+
+class TestTable2:
+    def test_six_features(self):
+        rows = compare_hit_policies()
+        assert len(rows) == 6
+        features = [row.feature for row in rows]
+        assert "traffic" in features
+        assert "cycles required per write" in features
+
+    def test_three_wins_each(self):
+        """Table 2 is balanced: three advantages on each side."""
+        rows = compare_hit_policies()
+        assert sum(row.write_through_wins for row in rows) == 3
+
+
+class TestTable3:
+    def test_symmetry(self):
+        wb = hardware_requirements(WriteHitPolicy.WRITE_BACK)
+        wt = hardware_requirements(WriteHitPolicy.WRITE_THROUGH)
+        assert set(wb) == set(wt)
+        assert wb["exit traffic buffer"] == "dirty victim register"
+        assert wt["exit traffic buffer"] == "write buffer"
+        assert wb["bandwidth improvement"] == "delayed write register"
+        assert wt["bandwidth improvement"] == "write cache"
+
+
+class TestErrorProtection:
+    def test_byte_parity_overhead(self):
+        assert error_protection_overhead("byte-parity", 32) == pytest.approx(4 / 32)
+
+    def test_word_ecc_overhead(self):
+        # SEC over 32 data bits needs 6 check bits (paper's number).
+        assert error_protection_overhead("word-ecc", 32) == pytest.approx(6 / 32)
+
+    def test_paper_two_thirds_ratio(self):
+        parity = error_protection_overhead("byte-parity", 32)
+        ecc = error_protection_overhead("word-ecc", 32)
+        assert parity / ecc == pytest.approx(2 / 3)
+
+    def test_ecc_scales_with_word_size(self):
+        # 64 data bits need 7 check bits.
+        assert error_protection_overhead("word-ecc", 64) == pytest.approx(7 / 64)
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(ConfigurationError):
+            error_protection_overhead("hamming-plus")
+
+    def test_rejects_fractional_bytes(self):
+        with pytest.raises(ConfigurationError):
+            error_protection_overhead("byte-parity", 12)
+
+
+class TestStateOverhead:
+    def test_write_back_has_dirty_bits(self):
+        bits = state_overhead_bits(CacheConfig(size=8192, line_size=16))
+        assert bits["dirty_bits"] == 512
+
+    def test_write_through_has_none(self):
+        config = CacheConfig(
+            size=8192, line_size=16, write_hit=WriteHitPolicy.WRITE_THROUGH
+        )
+        assert state_overhead_bits(config)["dirty_bits"] == 0
+
+    def test_valid_bits_follow_granularity(self):
+        config = CacheConfig(size=8192, line_size=16, valid_granularity=4)
+        assert state_overhead_bits(config)["valid_bits"] == 512 * 4
+
+    def test_subblock_dirty_bits(self):
+        config = CacheConfig(size=8192, line_size=16, subblock_dirty_writeback=True)
+        assert state_overhead_bits(config)["subblock_dirty_bits"] == 8192

@@ -1,0 +1,75 @@
+"""The cycle-level pipeline simulator vs the analytic interlock model."""
+
+import pytest
+
+from repro.pipeline.pipeline_sim import simulate_pipeline
+from repro.pipeline.timing import Organization, store_interlock_cycles
+from repro.trace.events import READ, WRITE, MemRef
+from repro.trace.trace import Trace
+
+
+def trace_of(ops):
+    """ops: (kind_char, icount) pairs; addresses are immaterial here."""
+    return Trace.from_refs(
+        [
+            MemRef(index * 8, 4, READ if kind == "r" else WRITE, icount=icount)
+            for index, (kind, icount) in enumerate(ops)
+        ]
+    )
+
+
+class TestSingleCycleOrganisations:
+    def test_no_penalty_ever(self):
+        trace = trace_of([("w", 1), ("r", 1), ("w", 1), ("r", 1)])
+        run = simulate_pipeline(trace, Organization.WRITE_THROUGH_DIRECT_MAPPED)
+        assert run.cycles == run.instructions
+        assert run.interlock_cycles == 0
+        assert run.cpi == 1.0
+
+
+class TestTwoCycleOrganisations:
+    def test_load_after_store_bubbles(self):
+        trace = trace_of([("w", 1), ("r", 1)])
+        run = simulate_pipeline(trace, Organization.WRITE_BACK_PROBE_FIRST)
+        assert run.interlock_cycles == 1
+        assert run.cycles == 3  # 2 instructions + 1 bubble
+
+    def test_gap_absorbs_hazard(self):
+        trace = trace_of([("w", 1), ("r", 2)])
+        run = simulate_pipeline(trace, Organization.WRITE_BACK_PROBE_FIRST)
+        assert run.interlock_cycles == 0
+
+    def test_store_store_load(self):
+        # The second store's write shadows the first; the load still
+        # bubbles once against the second store's write cycle.
+        trace = trace_of([("w", 1), ("w", 1), ("r", 1)])
+        run = simulate_pipeline(trace, Organization.WRITE_BACK_PROBE_FIRST)
+        assert run.interlock_cycles == 1
+
+    def test_delayed_write_register_removes_bubbles(self):
+        trace = trace_of([("w", 1), ("r", 1)] * 10)
+        run = simulate_pipeline(trace, Organization.WRITE_BACK_DELAYED_WRITE)
+        assert run.interlock_cycles == 0
+        assert run.cpi == 1.0
+
+
+class TestAnalyticAgreement:
+    @pytest.mark.parametrize("name", ["ccom", "met", "yacc"])
+    def test_interlocks_match_closed_form(self, small_corpus, name):
+        """The analytic interlock count and the cycle simulation must
+        agree exactly — they are two derivations of the same hazard."""
+        trace = small_corpus[name][:20000]
+        organization = Organization.WRITE_BACK_PROBE_FIRST
+        run = simulate_pipeline(trace, organization)
+        assert run.interlock_cycles == store_interlock_cycles(trace, organization)
+        assert run.cycles == run.instructions + run.interlock_cycles
+
+    def test_dense_store_load_alternation_pays_full_bubble(self):
+        """Back-to-back store/load pairs (a block copy with no address
+        computation between) cost one bubble per pair; spacing the pairs
+        by one instruction removes every bubble."""
+        dense = trace_of([("w", 1), ("r", 1)] * 50)
+        spaced = trace_of([("w", 2), ("r", 2)] * 50)
+        organization = Organization.WRITE_BACK_PROBE_FIRST
+        assert simulate_pipeline(dense, organization).interlock_cycles == 50
+        assert simulate_pipeline(spaced, organization).interlock_cycles == 0

@@ -1,0 +1,99 @@
+"""Unit tests for repro.pipeline.timing."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.pipeline.timing import (
+    Organization,
+    cycles_per_store,
+    effective_bandwidth,
+    rank_organizations,
+    store_cost_cycles,
+    store_interlock_cycles,
+)
+from repro.trace.events import READ, WRITE, MemRef
+from repro.trace.trace import Trace
+
+
+class TestCyclesPerStore:
+    def test_paper_values(self):
+        assert cycles_per_store(Organization.WRITE_THROUGH_DIRECT_MAPPED) == 1
+        assert cycles_per_store(Organization.WRITE_THROUGH_SET_ASSOCIATIVE) == 2
+        assert cycles_per_store(Organization.WRITE_BACK_PROBE_FIRST) == 2
+        assert cycles_per_store(Organization.WRITE_BACK_DELAYED_WRITE) == 1
+        assert (
+            cycles_per_store(Organization.WRITE_THROUGH_SET_ASSOCIATIVE_DELAYED) == 1
+        )
+
+
+class TestEffectiveBandwidth:
+    def test_paper_33_percent_claim(self):
+        """2:1 loads:stores, 2-cycle stores: cycles rise by a third (the
+        paper's '33% reduction in effective bandwidth'), accesses per
+        cycle fall by a quarter."""
+        cycle_increase, rate_reduction = effective_bandwidth(2.0, 2)
+        assert cycle_increase == pytest.approx(1 / 3)
+        assert rate_reduction == pytest.approx(1 / 4)
+
+    def test_one_cycle_store_is_baseline(self):
+        assert effective_bandwidth(2.0, 1) == (0.0, 0.0)
+
+    def test_all_stores_doubles_cycles(self):
+        cycle_increase, rate_reduction = effective_bandwidth(0.0, 2)
+        assert cycle_increase == pytest.approx(1.0)
+        assert rate_reduction == pytest.approx(0.5)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            effective_bandwidth(-1, 2)
+        with pytest.raises(ConfigurationError):
+            effective_bandwidth(2, 0)
+
+
+class TestInterlocks:
+    def make(self, kinds_and_icounts):
+        return Trace.from_refs(
+            [
+                MemRef(index * 8, 4, kind, icount=icount)
+                for index, (kind, icount) in enumerate(kinds_and_icounts)
+            ]
+        )
+
+    def test_load_immediately_after_store_interlocks(self):
+        trace = self.make([(WRITE, 1), (READ, 1)])
+        assert store_interlock_cycles(trace, Organization.WRITE_BACK_PROBE_FIRST) == 1
+
+    def test_gap_avoids_interlock(self):
+        trace = self.make([(WRITE, 1), (READ, 3)])
+        assert store_interlock_cycles(trace, Organization.WRITE_BACK_PROBE_FIRST) == 0
+
+    def test_store_after_store_no_interlock(self):
+        trace = self.make([(WRITE, 1), (WRITE, 1), (READ, 1)])
+        assert store_interlock_cycles(trace, Organization.WRITE_BACK_PROBE_FIRST) == 1
+
+    def test_one_cycle_orgs_never_interlock(self):
+        trace = self.make([(WRITE, 1), (READ, 1)])
+        assert (
+            store_interlock_cycles(trace, Organization.WRITE_THROUGH_DIRECT_MAPPED) == 0
+        )
+
+    def test_store_cost_adds_extra_cycle_per_store(self):
+        trace = self.make([(WRITE, 1), (WRITE, 2), (READ, 1)])
+        # 2 stores x 1 extra cycle + 1 interlock (read right after store).
+        assert store_cost_cycles(trace, Organization.WRITE_BACK_PROBE_FIRST) == 3
+        assert store_cost_cycles(trace, Organization.WRITE_BACK_DELAYED_WRITE) == 0
+
+
+class TestRanking:
+    def test_one_cycle_orgs_rank_first(self, small_corpus):
+        trace = small_corpus["ccom"][:3000]
+        ranking = list(rank_organizations(trace))
+        cheapest_cost = ranking[0][1]
+        assert cheapest_cost == 0
+        assert ranking[-1][1] > 0
+        one_cycle = {
+            Organization.WRITE_THROUGH_DIRECT_MAPPED,
+            Organization.WRITE_BACK_DELAYED_WRITE,
+            Organization.WRITE_THROUGH_SET_ASSOCIATIVE_DELAYED,
+        }
+        assert {org for org, cost in ranking if cost == 0} == one_cycle

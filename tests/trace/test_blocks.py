@@ -1,0 +1,115 @@
+"""Unit tests for the workload building blocks and Synthetic workload."""
+
+import random
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.trace.events import READ, WRITE
+from repro.trace.workloads.base import RefBuilder
+from repro.trace.workloads.blocks import (
+    Synthetic,
+    pointer_chase,
+    stack_churn,
+    stream_read,
+    stream_write,
+    strided_sweep,
+    zipf_hot_set,
+)
+
+
+@pytest.fixture()
+def builder():
+    return RefBuilder(instructions_per_ref=2.0)
+
+
+class TestBlocks:
+    def test_stream_read(self, builder):
+        stream_read(builder, 0x1000, 4)
+        assert builder.addresses == [0x1000, 0x1008, 0x1010, 0x1018]
+        assert set(builder.kinds) == {READ}
+
+    def test_stream_write(self, builder):
+        stream_write(builder, 0x1000, 3)
+        assert set(builder.kinds) == {WRITE}
+
+    def test_strided_sweep_mix(self, builder):
+        strided_sweep(builder, 0x1000, 100, stride=64, write_fraction=0.3,
+                      rng=random.Random(1))
+        writes = builder.kinds.count(WRITE)
+        assert 10 <= writes <= 55
+        assert builder.addresses[1] - builder.addresses[0] == 64
+
+    def test_zipf_is_skewed(self, builder):
+        zipf_hot_set(builder, 0x1000, slots=64, count=2000, rng=random.Random(2))
+        from collections import Counter
+
+        counts = Counter(builder.addresses)
+        most_common = counts.most_common(4)
+        top_share = sum(count for _, count in most_common) / 2000
+        assert top_share > 0.25  # the hot few dominate
+
+    def test_zipf_rejects_no_slots(self, builder):
+        with pytest.raises(ConfigurationError):
+            zipf_hot_set(builder, 0, slots=0, count=1, rng=random.Random(0))
+
+    def test_pointer_chase_stays_in_pool(self, builder):
+        pointer_chase(builder, 0x1000, nodes=16, hops=100, rng=random.Random(3))
+        for address in builder.addresses:
+            assert 0x1000 <= address < 0x1000 + 16 * 16 + 16
+
+    def test_stack_churn_balances(self, builder):
+        top = stack_churn(builder, 0x9000, depth=3, frame_words=4)
+        assert top == 0x9000
+        assert builder.kinds.count(WRITE) == builder.kinds.count(READ) == 12
+
+
+class TestSynthetic:
+    def test_requires_phases(self):
+        with pytest.raises(ConfigurationError):
+            Synthetic(phases=[])
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            Synthetic(phases=[{"kind": "fractal"}])
+
+    def test_builds_deterministically(self):
+        spec = [{"kind": "stream_copy", "bytes": 4096}, {"kind": "zipf", "slots": 64, "count": 200}]
+        first = Synthetic(phases=spec, rounds=2).build()
+        second = Synthetic(phases=spec, rounds=2).build()
+        assert first.addresses == second.addresses
+        assert len(first) > 0
+
+    def test_all_phase_kinds_run(self):
+        spec = [
+            {"kind": "stream_read", "bytes": 1024},
+            {"kind": "stream_write", "bytes": 1024},
+            {"kind": "stream_copy", "bytes": 1024},
+            {"kind": "zipf", "slots": 32, "count": 100},
+            {"kind": "chase", "nodes": 32, "hops": 100},
+            {"kind": "stack", "depth": 4},
+        ]
+        trace = Synthetic(phases=spec, rounds=1).build()
+        assert trace.read_count > 0 and trace.write_count > 0
+
+    def test_phases_do_not_overlap(self):
+        spec = [
+            {"kind": "stream_write", "bytes": 4096},
+            {"kind": "stream_write", "bytes": 4096},
+        ]
+        trace = Synthetic(phases=spec, rounds=1).build()
+        midpoint = len(trace) // 2
+        first_phase = set(trace.addresses[:midpoint])
+        second_phase = set(trace.addresses[midpoint:])
+        assert not first_phase & second_phase
+
+    def test_simulates_cleanly(self):
+        from repro.cache.config import CacheConfig
+        from repro.cache.fastsim import simulate_trace
+
+        trace = Synthetic(
+            phases=[{"kind": "stream_copy", "bytes": 8192}], rounds=3
+        ).build()
+        stats = simulate_trace(trace, CacheConfig(size=4096, line_size=16))
+        stats.validate_consistency()
+        assert stats.fetches > 0

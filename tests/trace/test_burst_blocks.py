@@ -1,0 +1,45 @@
+"""Register-window burst blocks (Section 3's burstiness sources)."""
+
+from repro.trace.events import READ, WRITE
+from repro.trace.workloads.base import RefBuilder
+from repro.trace.workloads.blocks import (
+    register_window_overflow,
+    register_window_underflow,
+)
+
+
+class TestWindowBursts:
+    def test_overflow_is_pure_store_burst(self):
+        builder = RefBuilder(1.0)
+        register_window_overflow(builder, 0x9000, windows=2, window_words=32)
+        assert len(builder.addresses) == 64
+        assert set(builder.kinds) == {WRITE}
+        # Sequential, back-to-back: the paper's "series of 30 or more
+        # sequential stores".
+        assert builder.addresses == [0x9000 + 4 * i for i in range(64)]
+
+    def test_underflow_mirrors_overflow(self):
+        save = RefBuilder(1.0)
+        register_window_overflow(save, 0x9000, windows=1)
+        restore = RefBuilder(1.0)
+        register_window_underflow(restore, 0x9000, windows=1)
+        assert restore.addresses == save.addresses
+        assert set(restore.kinds) == {READ}
+
+    def test_spill_restore_round_trip_hits_in_cache(self):
+        from repro.cache.cache import Cache
+        from repro.cache.config import CacheConfig
+
+        builder = RefBuilder(1.0)
+        register_window_overflow(builder, 0x9000, windows=2)
+        register_window_underflow(builder, 0x9000, windows=2)
+        cache = Cache(CacheConfig(size=8192, line_size=16))
+        cache.run(builder.build("windows"))
+        # Every restore hits the lines the spill allocated.
+        assert cache.stats.read_hits == 64
+
+    def test_default_timing_importable(self):
+        from repro.hierarchy.timing import DEFAULT_TIMING
+
+        assert DEFAULT_TIMING.fetch_latency > 0
+        assert DEFAULT_TIMING.transaction_cycles(16) > 0

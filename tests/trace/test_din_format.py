@@ -1,0 +1,47 @@
+"""Unit tests for the Dinero 'din' trace format reader."""
+
+import io
+
+import pytest
+
+from repro.common.errors import TraceFormatError
+from repro.trace.events import READ, WRITE
+from repro.trace.io import read_din_trace
+
+
+class TestDinParsing:
+    def test_reads_and_writes(self):
+        trace = read_din_trace(io.StringIO("0 1000\n1 2000\n"))
+        assert trace.kinds == [READ, WRITE]
+        assert trace.addresses == [0x1000, 0x2000]
+        assert trace.sizes == [4, 4]
+
+    def test_instruction_fetches_become_icounts(self):
+        trace = read_din_trace(io.StringIO("2 0\n2 4\n2 8\n0 1000\n0 2000\n"))
+        assert len(trace) == 2
+        assert trace.icounts == [4, 1]  # 3 fetches + the load's own instr
+
+    def test_addresses_aligned_down(self):
+        trace = read_din_trace(io.StringIO("0 1003\n"))
+        assert trace.addresses == [0x1000]
+
+    def test_access_size_parameter(self):
+        trace = read_din_trace(io.StringIO("1 100c\n"), access_size=8)
+        assert trace.addresses == [0x1008]
+        assert trace.sizes == [8]
+
+    def test_comments_skipped(self):
+        trace = read_din_trace(io.StringIO("# header\n0 10\n"))
+        assert len(trace) == 1
+
+    @pytest.mark.parametrize("line", ["3 100", "x 100", "0", "0 zz"])
+    def test_bad_lines(self, line):
+        with pytest.raises(TraceFormatError):
+            read_din_trace(io.StringIO(line + "\n"))
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "t.din"
+        path.write_text("2 0\n0 1000\n1 1004\n")
+        trace = read_din_trace(str(path))
+        assert trace.kinds == [READ, WRITE]
+        assert trace.instruction_count == 3

@@ -1,0 +1,52 @@
+"""Unit tests for repro.trace.events."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.trace.events import READ, WRITE, MemRef
+
+
+class TestMemRef:
+    def test_read_properties(self):
+        ref = MemRef(0x1000, 4, READ)
+        assert ref.is_read and not ref.is_write
+        assert ref.icount == 1
+        assert ref.end_address() == 0x1004
+
+    def test_write_properties(self):
+        ref = MemRef(0x2000, 8, WRITE, icount=5)
+        assert ref.is_write and not ref.is_read
+        assert ref.icount == 5
+        assert ref.end_address() == 0x2008
+
+    @pytest.mark.parametrize("size", [1, 2, 3, 5, 16, 0])
+    def test_rejects_bad_sizes(self, size):
+        with pytest.raises(ConfigurationError):
+            MemRef(0x1000, size, READ)
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ConfigurationError):
+            MemRef(0x1002, 4, READ)
+        with pytest.raises(ConfigurationError):
+            MemRef(0x1004, 8, WRITE)
+
+    def test_accepts_aligned(self):
+        MemRef(0x1004, 4, READ)
+        MemRef(0x1008, 8, READ)
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(ConfigurationError):
+            MemRef(-4, 4, READ)
+
+    def test_rejects_zero_icount(self):
+        with pytest.raises(ConfigurationError):
+            MemRef(0, 4, READ, icount=0)
+
+    def test_frozen(self):
+        ref = MemRef(0x1000, 4, READ)
+        with pytest.raises(Exception):
+            ref.address = 0x2000
+
+    def test_equality(self):
+        assert MemRef(0x10, 4, READ) == MemRef(0x10, 4, READ)
+        assert MemRef(0x10, 4, READ) != MemRef(0x10, 4, WRITE)

@@ -1,0 +1,95 @@
+"""Unit tests for repro.trace.filters."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.trace.events import READ, WRITE, MemRef
+from repro.trace.filters import downsample, filter_address_range, interleave, split_warmup
+from repro.trace.trace import Trace
+
+
+@pytest.fixture()
+def sample():
+    return Trace.from_refs(
+        [
+            MemRef(0x100, 4, READ, icount=2),
+            MemRef(0x200, 4, WRITE, icount=3),
+            MemRef(0x300, 4, READ, icount=1),
+            MemRef(0x104, 4, WRITE, icount=4),
+        ],
+        name="s",
+    )
+
+
+class TestAddressRange:
+    def test_keeps_in_range(self, sample):
+        filtered = filter_address_range(sample, 0x100, 0x200)
+        assert filtered.addresses == [0x100, 0x104]
+
+    def test_instruction_counts_preserved(self, sample):
+        filtered = filter_address_range(sample, 0x100, 0x110)
+        # Dropped refs' icounts fold into the next kept one.
+        assert filtered.icounts == [2, 3 + 1 + 4]
+        assert filtered.instruction_count == sample.instruction_count
+
+    def test_rejects_bad_bounds(self, sample):
+        with pytest.raises(ConfigurationError):
+            filter_address_range(sample, 0x200, 0x100)
+
+
+class TestDownsample:
+    def test_every_other(self, sample):
+        thinned = downsample(sample, 2)
+        assert thinned.addresses == [0x100, 0x300]
+        assert thinned.instruction_count == sample.instruction_count
+
+    def test_keep_all(self, sample):
+        assert downsample(sample, 1).addresses == sample.addresses
+
+    def test_rejects_zero(self, sample):
+        with pytest.raises(ConfigurationError):
+            downsample(sample, 0)
+
+
+class TestInterleave:
+    def test_round_robin_order(self):
+        a = Trace.from_refs([MemRef(0x10 * i, 4, READ) for i in range(1, 5)], name="a")
+        b = Trace.from_refs([MemRef(0x1000 + 0x10 * i, 4, READ) for i in range(1, 3)], name="b")
+        mixed = interleave([a, b], quantum=2)
+        assert mixed.addresses == [
+            0x10, 0x20, 0x1010, 0x1020, 0x30, 0x40,
+        ]
+        assert len(mixed) == len(a) + len(b)
+
+    def test_single_trace_identity(self, sample):
+        assert interleave([sample], quantum=3).addresses == sample.addresses
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(ConfigurationError):
+            interleave([], quantum=1)
+
+    def test_cache_sharing_hurts(self, small_corpus):
+        """Interleaving two programs on one small cache raises the miss
+        count over running them separately (context-switch pollution)."""
+        from repro.cache.config import CacheConfig
+        from repro.cache.fastsim import simulate_trace
+
+        a = small_corpus["grr"][:8000]
+        b = small_corpus["met"][:8000]
+        config = CacheConfig(size=2048, line_size=16)
+        separate = simulate_trace(a, config).fetches + simulate_trace(b, config).fetches
+        shared = simulate_trace(interleave([a, b], quantum=200), config).fetches
+        assert shared > separate
+
+
+class TestSplitWarmup:
+    def test_split(self, sample):
+        warm, measured = split_warmup(sample, 0.5)
+        assert len(warm) == 2
+        assert len(measured) == 2
+        assert warm.addresses + measured.addresses == sample.addresses
+
+    def test_rejects_bad_fraction(self, sample):
+        for fraction in (0.0, 1.0, -0.2):
+            with pytest.raises(ConfigurationError):
+                split_warmup(sample, fraction)

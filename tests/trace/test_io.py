@@ -1,0 +1,81 @@
+"""Unit tests for repro.trace.io."""
+
+import io
+
+import pytest
+
+from repro.common.errors import TraceFormatError
+from repro.trace.events import READ, WRITE, MemRef
+from repro.trace.io import read_trace, write_trace
+from repro.trace.trace import Trace
+
+
+@pytest.fixture()
+def sample():
+    return Trace.from_refs(
+        [
+            MemRef(0x1000, 4, READ),
+            MemRef(0x1008, 8, WRITE, icount=4),
+            MemRef(0x2000, 4, WRITE),
+        ],
+        name="sample",
+    )
+
+
+class TestRoundTrip:
+    def test_plain_file(self, sample, tmp_path):
+        path = tmp_path / "trace.txt"
+        write_trace(sample, str(path))
+        loaded = read_trace(str(path))
+        assert loaded.addresses == sample.addresses
+        assert loaded.sizes == sample.sizes
+        assert loaded.kinds == sample.kinds
+        assert loaded.icounts == sample.icounts
+
+    def test_gzip_file(self, sample, tmp_path):
+        path = tmp_path / "trace.txt.gz"
+        write_trace(sample, str(path))
+        # Verify it is actually gzip-compressed.
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        loaded = read_trace(str(path))
+        assert loaded.addresses == sample.addresses
+
+    def test_default_icount_omitted(self, sample, tmp_path):
+        path = tmp_path / "trace.txt"
+        write_trace(sample, str(path))
+        lines = [l for l in path.read_text().splitlines() if not l.startswith("#")]
+        assert lines[0] == "r 1000 4"
+        assert lines[1] == "w 1008 8 4"
+
+
+class TestParsing:
+    def test_comments_and_blanks_skipped(self):
+        stream = io.StringIO("# header\n\nr 10 4\n  \nw 18 8 2\n")
+        trace = read_trace(stream, name="s")
+        assert len(trace) == 2
+        assert trace[1] == MemRef(0x18, 8, WRITE, icount=2)
+
+    def test_case_insensitive_kind(self):
+        trace = read_trace(io.StringIO("R 10 4\nW 20 4\n"))
+        assert trace.kinds == [READ, WRITE]
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "x 10 4",  # unknown kind
+            "r 10",  # too few fields
+            "r 10 4 1 9",  # too many fields
+            "r zz 4",  # bad address
+            "r 10 3",  # invalid size
+            "r 12 8",  # misaligned for its size
+        ],
+    )
+    def test_bad_lines_raise_with_line_number(self, line):
+        with pytest.raises(TraceFormatError) as excinfo:
+            read_trace(io.StringIO(line + "\n"))
+        assert "line 1" in str(excinfo.value)
+
+    def test_error_reports_correct_line(self):
+        with pytest.raises(TraceFormatError) as excinfo:
+            read_trace(io.StringIO("r 10 4\nbogus line here\n"))
+        assert "line 2" in str(excinfo.value)

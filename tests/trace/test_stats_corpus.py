@@ -1,0 +1,72 @@
+"""Unit tests for repro.trace.stats and repro.trace.corpus."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.trace.corpus import BENCHMARK_NAMES, clear_cache, load, load_all
+from repro.trace.events import READ, WRITE, MemRef
+from repro.trace.stats import TraceStats, characterize, format_table1
+from repro.trace.trace import Trace
+
+from tests.conftest import TEST_SCALE
+
+
+class TestTraceStats:
+    def test_characterize(self):
+        trace = Trace.from_refs(
+            [
+                MemRef(0, 4, READ, icount=2),
+                MemRef(16, 4, WRITE, icount=3),
+                MemRef(32, 8, WRITE),
+            ],
+            name="x",
+        )
+        stats = characterize(trace)
+        assert stats.name == "x"
+        assert stats.read_count == 1
+        assert stats.write_count == 2
+        assert stats.instruction_count == 6
+        assert stats.ref_count == 3
+        assert stats.total_refs == 9
+        assert stats.reads_per_write == pytest.approx(0.5)
+        assert stats.instructions_per_ref == pytest.approx(2.0)
+        assert stats.write_fraction == pytest.approx(2 / 3)
+        assert stats.footprint_bytes == 3 * 16
+
+    def test_zero_divisions(self):
+        empty = TraceStats("e", 0, 0, 0, 0)
+        assert empty.reads_per_write == float("inf")
+        assert empty.instructions_per_ref == float("inf")
+        assert empty.write_fraction == 0.0
+
+    def test_format_table1(self, small_corpus):
+        text = format_table1([characterize(t) for t in small_corpus.values()])
+        assert "Table 1" in text
+        for name in BENCHMARK_NAMES:
+            assert name in text
+        assert "total" in text
+
+
+class TestCorpus:
+    def test_load_is_cached(self):
+        first = load("grr", scale=TEST_SCALE)
+        second = load("grr", scale=TEST_SCALE)
+        assert first is second
+
+    def test_distinct_scales_distinct_traces(self):
+        assert load("grr", scale=TEST_SCALE) is not load("grr", scale=TEST_SCALE / 2)
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            load("dhrystone")
+
+    def test_load_all_order(self, small_corpus):
+        assert tuple(small_corpus) == BENCHMARK_NAMES
+        assert tuple(load_all(scale=TEST_SCALE)) == BENCHMARK_NAMES
+
+    def test_clear_cache(self):
+        before = load("liver", scale=TEST_SCALE / 3)
+        clear_cache()
+        after = load("liver", scale=TEST_SCALE / 3)
+        assert before is not after
+        assert before.addresses == after.addresses

@@ -1,0 +1,99 @@
+"""Unit tests for repro.trace.trace."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.trace.events import READ, WRITE, MemRef
+from repro.trace.trace import Trace
+
+
+def build(refs):
+    return Trace.from_refs(refs, name="t")
+
+
+class TestConstruction:
+    def test_from_refs_round_trip(self, tiny_trace):
+        refs = list(tiny_trace)
+        rebuilt = Trace.from_refs(refs)
+        assert rebuilt.addresses == tiny_trace.addresses
+        assert rebuilt.kinds == tiny_trace.kinds
+        assert rebuilt.icounts == tiny_trace.icounts
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(SimulationError):
+            Trace([1], [], [], [])
+
+    def test_repr_mentions_counts(self, tiny_trace):
+        text = repr(tiny_trace)
+        assert "reads=2" in text and "writes=3" in text
+
+
+class TestAccessors:
+    def test_len_and_counts(self, tiny_trace):
+        assert len(tiny_trace) == 5
+        assert tiny_trace.read_count == 2
+        assert tiny_trace.write_count == 3
+
+    def test_instruction_count(self, tiny_trace):
+        assert tiny_trace.instruction_count == 1 + 1 + 3 + 2 + 1
+
+    def test_byte_count(self, tiny_trace):
+        assert tiny_trace.byte_count == 4 + 4 + 8 + 4 + 4
+
+    def test_getitem_scalar(self, tiny_trace):
+        ref = tiny_trace[2]
+        assert ref == MemRef(0x1008, 8, WRITE, icount=3)
+
+    def test_getitem_slice(self, tiny_trace):
+        sub = tiny_trace[1:3]
+        assert isinstance(sub, Trace)
+        assert len(sub) == 2
+        assert sub[0].address == 0x1004
+
+    def test_iteration_yields_memrefs(self, tiny_trace):
+        for ref in tiny_trace:
+            assert isinstance(ref, MemRef)
+
+
+class TestTransforms:
+    def test_writes_only_preserves_instructions(self, tiny_trace):
+        writes = tiny_trace.writes_only()
+        assert writes.write_count == tiny_trace.write_count
+        assert writes.read_count == 0
+        # The trailing write absorbs every preceding read's icount.
+        assert writes.instruction_count == tiny_trace.instruction_count
+
+    def test_writes_only_order(self, tiny_trace):
+        writes = tiny_trace.writes_only()
+        assert writes.addresses == [0x1004, 0x1008, 0x1000]
+
+    def test_concat(self, tiny_trace):
+        double = tiny_trace.concat(tiny_trace)
+        assert len(double) == 2 * len(tiny_trace)
+        assert double.instruction_count == 2 * tiny_trace.instruction_count
+
+    def test_to_arrays(self, tiny_trace):
+        arrays = tiny_trace.to_arrays()
+        assert arrays["addresses"].dtype == np.uint64
+        assert arrays["kinds"].tolist() == tiny_trace.kinds
+
+
+class TestFootprint:
+    def test_touched_lines_simple(self):
+        trace = build([MemRef(0, 4, READ), MemRef(4, 4, READ), MemRef(16, 4, READ)])
+        assert trace.touched_lines(16) == 2
+        assert trace.touched_lines(4) == 3
+
+    def test_touched_lines_straddle(self):
+        # An 8 B access straddles two 4 B lines.
+        trace = build([MemRef(8, 8, WRITE)])
+        assert trace.touched_lines(4) == 2
+        assert trace.touched_lines(8) == 1
+
+    def test_address_span(self):
+        trace = build([MemRef(0x100, 4, READ), MemRef(0x200, 8, READ)])
+        assert trace.address_span() == 0x200 + 8 - 0x100
+
+    def test_empty_span(self):
+        assert build([]).address_span() == 0

@@ -1,0 +1,142 @@
+"""Tests of the synthetic benchmark models.
+
+These verify the properties DESIGN.md claims the models preserve from the
+paper's Table 1 and per-benchmark descriptions: deterministic generation,
+reference mixes, instruction ratios, working-set sizes, and the access
+invariants the simulators rely on (alignment, 4/8 B sizes).
+"""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.trace.events import WRITE
+from repro.trace.workloads import WORKLOADS, Workload
+from repro.trace.workloads.base import RefBuilder
+
+from tests.conftest import TEST_SCALE
+
+
+@pytest.fixture(scope="module", params=sorted(WORKLOADS))
+def workload_trace(request):
+    name = request.param
+    return name, WORKLOADS[name](scale=TEST_SCALE).build()
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        first = WORKLOADS["met"](scale=0.05, seed=7).build()
+        second = WORKLOADS["met"](scale=0.05, seed=7).build()
+        assert first.addresses == second.addresses
+        assert first.kinds == second.kinds
+
+    def test_different_seed_different_trace(self):
+        first = WORKLOADS["met"](scale=0.05, seed=7).build()
+        second = WORKLOADS["met"](scale=0.05, seed=8).build()
+        assert first.addresses != second.addresses
+
+    def test_scale_grows_trace(self):
+        small = WORKLOADS["yacc"](scale=0.05).build()
+        large = WORKLOADS["yacc"](scale=0.2).build()
+        assert len(large) > 2 * len(small)
+
+
+class TestInvariants:
+    def test_alignment_and_sizes(self, workload_trace):
+        _, trace = workload_trace
+        for address, size in zip(trace.addresses, trace.sizes):
+            assert size in (4, 8)
+            assert address % size == 0
+
+    def test_nonempty_and_mixed(self, workload_trace):
+        _, trace = workload_trace
+        assert trace.read_count > 0
+        assert trace.write_count > 0
+
+    def test_positive_icounts(self, workload_trace):
+        _, trace = workload_trace
+        assert min(trace.icounts) >= 1
+
+
+class TestPaperRatios:
+    def test_read_write_ratio_close_to_table1(self, workload_trace):
+        name, trace = workload_trace
+        target = WORKLOADS[name].paper_read_write_ratio
+        measured = trace.read_count / trace.write_count
+        assert measured == pytest.approx(target, rel=0.25), (
+            f"{name}: reads/writes {measured:.2f} vs Table 1 {target:.2f}"
+        )
+
+    def test_instruction_ratio_matches(self, workload_trace):
+        name, trace = workload_trace
+        target = WORKLOADS[name].instructions_per_ref
+        measured = trace.instruction_count / len(trace)
+        assert measured == pytest.approx(target, rel=0.02)
+
+
+class TestWorkingSets:
+    """Footprints drive every fits-in-cache result in the paper.
+
+    These tests use full-scale traces: working sets are a property of the
+    full workload (yacc's state table only fills up over the whole run).
+    """
+
+    @pytest.fixture(scope="class")
+    def footprints(self):
+        from repro.trace.corpus import load
+
+        return {
+            name: load(name).touched_lines(16) * 16 for name in WORKLOADS
+        }
+
+    def test_numeric_working_sets_between_64_and_128kb(self, footprints):
+        # linpack's matrix is 80 KB; liver's arrays total 72 KB: both must
+        # fail to fit a 64 KB cache and fit a 128 KB one (Fig. 2/18).
+        for name in ("linpack", "liver"):
+            assert 64 * 1024 < footprints[name] <= 128 * 1024, name
+
+    def test_grr_is_the_smallest_working_set(self, footprints):
+        assert footprints["grr"] == min(footprints.values())
+
+    def test_yacc_exceeds_64kb(self, footprints):
+        assert footprints["yacc"] > 64 * 1024
+
+
+class TestRefBuilder:
+    def test_rejects_sub_one_ratio(self):
+        with pytest.raises(ConfigurationError):
+            RefBuilder(0.5)
+
+    def test_icount_accumulates_to_ratio(self):
+        builder = RefBuilder(2.5)
+        for index in range(1000):
+            builder.read(index * 4)
+        assert sum(builder.icounts) == pytest.approx(2500, abs=2)
+
+    def test_frame_enter_exit_symmetry(self):
+        builder = RefBuilder(1.0)
+        top = builder.frame_enter(0x1000, saved_words=4)
+        assert top == 0x1000 - 16
+        assert builder.kinds == [WRITE] * 4
+        restored = builder.frame_exit(top, restored_words=4)
+        assert restored == 0x1000
+
+    def test_seq_rmw_pairs(self):
+        builder = RefBuilder(1.0)
+        builder.seq_rmw(0x100, 3)
+        assert builder.addresses == [0x100, 0x100, 0x104, 0x104, 0x108, 0x108]
+        assert builder.kinds == [0, 1] * 3
+
+    def test_workload_rejects_bad_scale(self):
+        with pytest.raises(ConfigurationError):
+            WORKLOADS["ccom"](scale=0)
+
+
+class TestRegistry:
+    def test_six_benchmarks(self):
+        assert sorted(WORKLOADS) == ["ccom", "grr", "linpack", "liver", "met", "yacc"]
+
+    def test_all_are_workload_subclasses(self):
+        for cls in WORKLOADS.values():
+            assert issubclass(cls, Workload)
+            assert cls.name in WORKLOADS
+            assert cls.description
