@@ -169,6 +169,24 @@ class CacheConfig:
         """The tag for ``address`` (the line address; simple and unique)."""
         return address >> (self.offset_bits + self.index_bits)
 
+    def cache_key(self) -> str:
+        """Stable, process-independent identity string for this config.
+
+        Covers exactly the fields that participate in equality (``name`` is
+        display-only and excluded), with enums flattened to their values, so
+        two configs compare equal iff their cache keys match.  The result
+        store hashes this string; it must never depend on Python's
+        randomised ``hash()``.
+        """
+        return (
+            f"size={self.size}:line={self.line_size}:assoc={self.associativity}:"
+            f"hit={self.write_hit.value}:miss={self.write_miss.value}:"
+            f"vgran={self.valid_granularity}:"
+            f"subwb={int(self.subblock_dirty_writeback)}:"
+            f"subfetch={int(self.subblock_fetch)}:"
+            f"repl={self.replacement}:data={int(self.store_data)}"
+        )
+
     def describe(self) -> str:
         """Short human-readable description used in reports."""
         assoc = "DM" if self.is_direct_mapped else f"{self.associativity}way"

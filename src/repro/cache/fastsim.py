@@ -16,6 +16,11 @@ from repro.cache.policies import WriteMissPolicy
 from repro.cache.stats import CacheStats
 from repro.trace.trace import Trace
 
+#: Bump whenever a simulator change can alter the statistics produced for
+#: an unchanged (trace, config) pair.  The on-disk result store folds this
+#: into every content hash, so a bump invalidates all persisted results.
+SIMULATOR_VERSION = 1
+
 
 def simulate_trace(trace: Trace, config: CacheConfig, flush: bool = True) -> CacheStats:
     """Run ``trace`` through a cache described by ``config``.

@@ -186,6 +186,34 @@ class CacheStats:
             transactions += self.flushed_dirty_lines
         return _ratio(transactions, self.instructions)
 
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-dict form of every counter (JSON-safe for the result store).
+
+        ``extra`` is shallow-copied so mutating the dict afterwards cannot
+        alias back into the stats object.
+        """
+        payload = {}
+        for spec in fields(CacheStats):
+            value = getattr(self, spec.name)
+            payload[spec.name] = dict(value) if spec.name == "extra" else value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CacheStats":
+        """Inverse of :meth:`to_dict`.
+
+        Unknown keys raise (a schema mismatch must invalidate a stored
+        record, not silently drop data); missing keys fall back to the
+        field defaults so older records without newer counters still load.
+        """
+        known = {spec.name for spec in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown CacheStats fields: {sorted(unknown)}")
+        return cls(**payload)
+
     # -- bookkeeping -----------------------------------------------------------
 
     def merge(self, other: "CacheStats") -> "CacheStats":

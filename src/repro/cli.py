@@ -8,6 +8,13 @@ Subcommands:
   ``python -m repro.core.figures``).
 - ``claims`` — print the Section 3.3/6 headline claims, paper vs measured.
 - ``table1`` — print the corpus characteristics table.
+- ``sweep`` — run one of the paper's standard parameter sweeps for any
+  derived metric, optionally parallel (``--jobs``).
+- ``store`` — inspect or maintain the persistent result store.
+
+Commands that run experiments accept ``--jobs N`` to fan simulation out
+across N worker processes (0 = all cores); results are persisted in the
+content-addressed result store so reruns are served from disk.
 """
 
 import argparse
@@ -17,12 +24,36 @@ from dataclasses import fields
 from repro.cache.config import CacheConfig
 from repro.cache.fastsim import simulate_trace
 from repro.cache.policies import WriteHitPolicy, WriteMissPolicy
+from repro.cache.stats import CacheStats
 from repro.common.render import format_table
 from repro.trace.corpus import BENCHMARK_NAMES, load
 from repro.trace.io import read_din_trace, read_trace
 
 _HIT_POLICIES = {policy.value: policy for policy in WriteHitPolicy}
 _MISS_POLICIES = {policy.value: policy for policy in WriteMissPolicy}
+
+#: Metrics the ``sweep`` subcommand can plot: every float-valued property.
+_SWEEP_METRICS = sorted(
+    name
+    for name in dir(CacheStats)
+    if isinstance(getattr(CacheStats, name), property) and not name.startswith("_")
+)
+
+
+def _add_jobs_flag(parser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for simulation fan-out (0 = all cores)",
+    )
+
+
+def _apply_jobs(args) -> None:
+    if getattr(args, "jobs", None) is not None:
+        from repro.exec.pool import set_default_jobs
+
+        set_default_jobs(args.jobs)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -62,9 +93,11 @@ def _build_parser() -> argparse.ArgumentParser:
     figures = subparsers.add_parser("figures", help="render reproduced figures")
     figures.add_argument("ids", nargs="+", help="figure ids or 'all'")
     figures.add_argument("--scale", type=float, default=1.0)
+    _add_jobs_flag(figures)
 
     claims = subparsers.add_parser("claims", help="headline claims, paper vs measured")
     claims.add_argument("--scale", type=float, default=1.0)
+    _add_jobs_flag(claims)
 
     table = subparsers.add_parser("table1", help="corpus characteristics")
     table.add_argument("--scale", type=float, default=1.0)
@@ -78,6 +111,38 @@ def _build_parser() -> argparse.ArgumentParser:
         "--figures", nargs="*", default=None, help="subset of figure ids"
     )
     report.add_argument("--no-csv", action="store_true")
+    _add_jobs_flag(report)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a standard parameter sweep for one metric"
+    )
+    sweep.add_argument(
+        "--axis", choices=("size", "line"), default="size",
+        help="sweep cache size (16B lines) or line size (8KB capacity)",
+    )
+    sweep.add_argument("--metric", choices=_SWEEP_METRICS, default="miss_ratio")
+    sweep.add_argument(
+        "--write-hit", choices=sorted(_HIT_POLICIES), default="write-back"
+    )
+    sweep.add_argument(
+        "--write-miss", choices=sorted(_MISS_POLICIES), default="fetch-on-write"
+    )
+    sweep.add_argument("--scale", type=float, default=1.0)
+    sweep.add_argument(
+        "--verbose", action="store_true", help="report per-run progress on stderr"
+    )
+    _add_jobs_flag(sweep)
+
+    store = subparsers.add_parser(
+        "store", help="inspect or maintain the persistent result store"
+    )
+    store.add_argument(
+        "action", choices=("stats", "clear", "gc"),
+        help="stats: summarise; clear: drop everything; gc: drop stale/corrupt",
+    )
+    store.add_argument(
+        "--dir", default=None, help="store directory (default: $REPRO_RESULT_DIR)"
+    )
     return parser
 
 
@@ -130,6 +195,7 @@ def _command_simulate(args) -> int:
 def _command_figures(args) -> int:
     from repro.core.figures.__main__ import main as figures_main
 
+    _apply_jobs(args)
     argv = list(args.ids) + ["--scale", str(args.scale)]
     return figures_main(argv)
 
@@ -137,7 +203,71 @@ def _command_figures(args) -> int:
 def _command_claims(args) -> int:
     from repro.core.headline import headline_claims, render_claims
 
+    _apply_jobs(args)
     print(render_claims(headline_claims(scale=args.scale)))
+    return 0
+
+
+def _command_sweep(args) -> int:
+    from repro.common.render import format_series_table
+    from repro.core import runner
+    from repro.core.sweep import (
+        CACHE_SIZES_KB,
+        LINE_SIZES_B,
+        line_sweep_configs,
+        size_sweep_configs,
+        sweep,
+    )
+    from repro.exec.pool import verbose_reporter
+
+    _apply_jobs(args)
+    write_hit = _HIT_POLICIES[args.write_hit]
+    write_miss = _MISS_POLICIES[args.write_miss]
+    if args.axis == "size":
+        configs = size_sweep_configs(write_hit=write_hit, write_miss=write_miss)
+        x_label, x_values = "cache size (KB)", list(CACHE_SIZES_KB)
+    else:
+        configs = line_sweep_configs(write_hit=write_hit, write_miss=write_miss)
+        x_label, x_values = "line size (B)", list(LINE_SIZES_B)
+
+    callback = verbose_reporter() if args.verbose else None
+    telemetry = runner.prefetch(
+        runner.suite_keys(configs, BENCHMARK_NAMES, scale=args.scale),
+        jobs=args.jobs,
+        callback=callback,
+    )
+    series = sweep(
+        configs, lambda stats: getattr(stats, args.metric), scale=args.scale
+    )
+    print(
+        format_series_table(
+            x_label,
+            x_values,
+            series,
+            title=f"{args.metric} sweep ({args.write_hit}/{args.write_miss})",
+        )
+    )
+    print(f"telemetry: {telemetry.line()}", file=sys.stderr)
+    return 0
+
+
+def _command_store(args) -> int:
+    from repro.exec.store import ResultStore, default_store_root
+
+    root = args.dir or default_store_root()
+    if root is None:
+        print("result store is disabled (REPRO_RESULT_DIR=off)", file=sys.stderr)
+        return 1
+    store = ResultStore(root)
+    if args.action == "stats":
+        summary = store.stats()
+        rows = [[key, value] for key, value in summary.items()]
+        print(format_table(["field", "value"], rows, title="result store"))
+    elif args.action == "clear":
+        print(f"removed {store.clear()} records from {store.root}")
+    else:
+        kept, removed = store.gc()
+        print(f"gc: kept {kept}, removed {removed} stale/corrupt records")
     return 0
 
 
@@ -151,6 +281,7 @@ def _command_table1(args) -> int:
 def _command_report(args) -> int:
     from repro.core.report import generate_report
 
+    _apply_jobs(args)
     index = generate_report(
         args.out, figure_ids=args.figures, scale=args.scale, csv=not args.no_csv
     )
@@ -164,6 +295,8 @@ _COMMANDS = {
     "claims": _command_claims,
     "table1": _command_table1,
     "report": _command_report,
+    "sweep": _command_sweep,
+    "store": _command_store,
 }
 
 

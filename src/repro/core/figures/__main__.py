@@ -28,7 +28,17 @@ def main(argv=None) -> int:
         default=1.0,
         help="workload scale factor (default 1.0; smaller is faster)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for simulation fan-out (0 = all cores)",
+    )
     args = parser.parse_args(argv)
+    if args.jobs is not None:
+        from repro.exec.pool import set_default_jobs
+
+        set_default_jobs(args.jobs)
 
     requested = list(FIGURES) if "all" in args.figures else args.figures
     for figure_id in requested:

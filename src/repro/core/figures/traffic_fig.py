@@ -14,7 +14,7 @@ from typing import Dict, List
 
 from repro.cache.config import CacheConfig
 from repro.cache.policies import WriteHitPolicy
-from repro.core.figures.base import FigureResult
+from repro.core.figures.base import FigureResult, prefetch_grid
 from repro.core.runner import run
 from repro.core.sweep import (
     CACHE_SIZES_KB,
@@ -25,13 +25,24 @@ from repro.core.sweep import (
 from repro.trace.corpus import BENCHMARK_NAMES
 
 
+def _traffic_configs(size_kb: int, line_size: int):
+    """The write-back/write-through config pair behind one x value."""
+    return (
+        CacheConfig(
+            size=size_kb * 1024,
+            line_size=line_size,
+            write_hit=WriteHitPolicy.WRITE_BACK,
+        ),
+        CacheConfig(
+            size=size_kb * 1024,
+            line_size=line_size,
+            write_hit=WriteHitPolicy.WRITE_THROUGH,
+        ),
+    )
+
+
 def _traffic_components(size_kb: int, line_size: int, scale: float) -> Dict[str, float]:
-    wb_config = CacheConfig(
-        size=size_kb * 1024, line_size=line_size, write_hit=WriteHitPolicy.WRITE_BACK
-    )
-    wt_config = CacheConfig(
-        size=size_kb * 1024, line_size=line_size, write_hit=WriteHitPolicy.WRITE_THROUGH
-    )
+    wb_config, wt_config = _traffic_configs(size_kb, line_size)
     instructions = 0
     read_misses = write_misses = 0
     wb_transactions = wt_transactions = 0
@@ -81,6 +92,10 @@ def _traffic_figure(
 
 def fig18(scale: float = 1.0) -> FigureResult:
     """Components of traffic vs cache size (16 B lines)."""
+    prefetch_grid(
+        [c for kb in CACHE_SIZES_KB for c in _traffic_configs(kb, DEFAULT_LINE_B)],
+        scale=scale,
+    )
     return _traffic_figure(
         "fig18",
         "Components of traffic vs cache size (16B lines)",
@@ -93,6 +108,10 @@ def fig18(scale: float = 1.0) -> FigureResult:
 
 def fig19(scale: float = 1.0) -> FigureResult:
     """Components of traffic vs cache line size (8 KB caches)."""
+    prefetch_grid(
+        [c for line in LINE_SIZES_B for c in _traffic_configs(DEFAULT_CACHE_KB, line)],
+        scale=scale,
+    )
     return _traffic_figure(
         "fig19",
         "Components of traffic vs cache line size (8KB caches)",

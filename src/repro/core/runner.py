@@ -1,47 +1,136 @@
-"""Memoised experiment execution.
+"""Memoised experiment execution over a persistent result store.
 
 Every figure sweeps the same six traces over overlapping configuration
 grids (Fig. 13 and Fig. 14 share all their runs; Fig. 10 shares its
-fetch-on-write runs with both), so results are cached per process keyed by
-``(workload, scale, seed, config)``.  The underlying engine is
-:func:`repro.cache.fastsim.simulate_trace`, which falls back to the
-reference simulator for non-direct-mapped configurations.
+fetch-on-write runs with both), so results resolve through three levels:
+
+1. a per-process memo keyed by :class:`~repro.exec.keys.RunKey`;
+2. the on-disk content-addressed :class:`~repro.exec.store.ResultStore`
+   (``$REPRO_RESULT_DIR``, default ``~/.cache/repro/results``; set it to
+   ``off`` to disable persistence), which makes repeated figure and
+   benchmark regeneration near-instant across processes;
+3. computation via :func:`repro.cache.fastsim.simulate_trace`, which falls
+   back to the reference simulator for non-direct-mapped configurations.
+
+:func:`prefetch` resolves a whole batch at once, optionally fanning
+computation out across worker processes (``jobs > 1``) through
+:class:`~repro.exec.pool.ExperimentPool`; parallel results are
+bit-identical to serial execution.
 """
 
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, Optional, Sequence
 
 from repro.cache.config import CacheConfig
-from repro.cache.fastsim import simulate_trace
 from repro.cache.stats import CacheStats
-from repro.trace.corpus import BENCHMARK_NAMES, DEFAULT_SCALE, load
+from repro.exec.keys import RunKey
+from repro.exec.pool import ExperimentPool, PoolTelemetry, default_jobs
+from repro.exec.store import ResultStore, open_default_store
+from repro.trace.corpus import BENCHMARK_NAMES, DEFAULT_SCALE
 
-_run_cache: Dict[Tuple, CacheStats] = {}
+DEFAULT_SEED = 1991
+
+_run_cache: Dict[RunKey, CacheStats] = {}
+
+#: Lazily resolved from the environment on first use; ``False`` is the
+#: "not yet resolved" sentinel (``None`` is a valid resolved value: off).
+_store = False
+
+
+def get_store() -> Optional[ResultStore]:
+    """The process-wide result store (``None`` when persistence is off)."""
+    global _store
+    if _store is False:
+        _store = open_default_store()
+    return _store
+
+
+def set_store(store: Optional[ResultStore]) -> None:
+    """Override the process-wide store (tests point this at tmp dirs)."""
+    global _store
+    _store = store
+
+
+def reset_store() -> None:
+    """Re-resolve the store from the environment on next use."""
+    global _store
+    _store = False
+
+
+def run_key(
+    workload: str,
+    config: CacheConfig,
+    scale: float = DEFAULT_SCALE,
+    seed: int = DEFAULT_SEED,
+) -> RunKey:
+    """The content-addressed identity of one ``run()`` call."""
+    return RunKey(workload=workload, scale=scale, seed=seed, config=config)
 
 
 def run(
     workload: str,
     config: CacheConfig,
     scale: float = DEFAULT_SCALE,
-    seed: int = 1991,
+    seed: int = DEFAULT_SEED,
 ) -> CacheStats:
-    """Simulate ``workload`` through ``config`` (cached)."""
-    key = (workload, scale, seed, config)
-    if key not in _run_cache:
-        trace = load(workload, scale=scale, seed=seed)
-        _run_cache[key] = simulate_trace(trace, config, flush=True)
-    return _run_cache[key]
+    """Simulate ``workload`` through ``config`` (memo -> store -> compute)."""
+    results = ExperimentPool(store=get_store(), jobs=1).run_many(
+        [run_key(workload, config, scale=scale, seed=seed)], memo=_run_cache
+    )
+    return next(iter(results.values()))
+
+
+def prefetch(
+    keys: Iterable[RunKey],
+    jobs: Optional[int] = None,
+    callback=None,
+) -> PoolTelemetry:
+    """Resolve a batch of runs into the memo (and store) ahead of use.
+
+    ``jobs=None`` uses ``$REPRO_JOBS`` (default 1); ``jobs>1`` computes
+    misses in a process pool.  Returns the batch telemetry so callers can
+    report memo/store/computed counts.
+    """
+    pool = ExperimentPool(
+        store=get_store(),
+        jobs=default_jobs() if jobs is None else jobs,
+        callback=callback,
+    )
+    pool.run_many(keys, memo=_run_cache)
+    return pool.telemetry
+
+
+def suite_keys(
+    configs: Sequence[CacheConfig],
+    workloads: Iterable[str] = BENCHMARK_NAMES,
+    scale: float = DEFAULT_SCALE,
+    seed: int = DEFAULT_SEED,
+) -> list:
+    """The full configs x workloads grid as :class:`RunKey` batch."""
+    return [
+        run_key(name, config, scale=scale, seed=seed)
+        for config in configs
+        for name in workloads
+    ]
 
 
 def run_suite(
     config: CacheConfig,
     workloads: Iterable[str] = BENCHMARK_NAMES,
     scale: float = DEFAULT_SCALE,
-    seed: int = 1991,
+    seed: int = DEFAULT_SEED,
+    jobs: Optional[int] = None,
 ) -> Dict[str, CacheStats]:
     """Simulate every workload through ``config``, preserving order."""
+    workloads = list(workloads)
+    prefetch(suite_keys([config], workloads, scale=scale, seed=seed), jobs=jobs)
     return {name: run(name, config, scale=scale, seed=seed) for name in workloads}
 
 
 def clear_run_cache() -> None:
-    """Drop memoised results (tests that mutate scale call this)."""
+    """Drop memoised results (tests that mutate scale call this).
+
+    Only the in-memory level is dropped; the on-disk store is content
+    addressed, so stale reads are impossible and it never needs clearing
+    for correctness.
+    """
     _run_cache.clear()

@@ -6,12 +6,12 @@ Two orthogonal sweeps recur through every section:
 - line size 4 B - 64 B at 8 KB capacity (Figs 1, 11, 15, 16, 19, 23-25).
 """
 
-from typing import Callable, Dict, Iterable, List, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.cache.config import CacheConfig
 from repro.cache.policies import WriteHitPolicy, WriteMissPolicy
 from repro.cache.stats import CacheStats
-from repro.core.runner import run
+from repro.core.runner import prefetch, run, suite_keys
 from repro.trace.corpus import BENCHMARK_NAMES
 
 #: Fig. 2 / Fig. 10 x-axis: cache capacity in KB, 16 B lines.
@@ -49,13 +49,20 @@ def sweep(
     metric: Callable[[CacheStats], float],
     workloads: Sequence[str] = BENCHMARK_NAMES,
     scale: float = 1.0,
+    jobs: Optional[int] = None,
 ) -> Dict[str, List[float]]:
     """Evaluate ``metric`` for each workload across ``configs``.
+
+    The full configs x workloads grid is prefetched up front — one batch
+    through the experiment pool (parallel when ``jobs`` / ``$REPRO_JOBS``
+    says so, served from the result store on reruns) — so the metric loop
+    below only ever hits the in-process memo.
 
     Returns one series per workload plus an ``"average"`` series — the
     unweighted mean across benchmarks, which is how the paper draws its
     bold average curves.
     """
+    prefetch(suite_keys(configs, workloads, scale=scale), jobs=jobs)
     series: Dict[str, List[float]] = {name: [] for name in workloads}
     for config in configs:
         for name in workloads:

@@ -1,0 +1,52 @@
+"""Experiment orchestration: parallel execution and persistent results.
+
+The figure and benchmark sweeps all reduce to batches of
+``(workload, scale, seed, config)`` simulation requests.  This package
+turns those batches into a pipeline:
+
+- :mod:`repro.exec.keys` — :class:`RunKey`, the content-addressed identity
+  of one run (simulator version included, so engine changes invalidate);
+- :mod:`repro.exec.store` — :class:`ResultStore`, an atomic,
+  corruption-tolerant on-disk map from keys to
+  :class:`~repro.cache.stats.CacheStats`;
+- :mod:`repro.exec.pool` — :class:`ExperimentPool`, a deduplicating
+  memory -> disk -> compute batch runner with optional process-pool
+  fan-out and per-run telemetry.
+
+:mod:`repro.core.runner` builds its ``run``/``prefetch`` API on top, so
+callers rarely touch this package directly.
+"""
+
+from repro.exec.keys import RunKey
+from repro.exec.pool import (
+    ENV_JOBS,
+    ExperimentPool,
+    PoolTelemetry,
+    RunEvent,
+    default_jobs,
+    set_default_jobs,
+    verbose_reporter,
+)
+from repro.exec.store import (
+    ENV_RESULT_DIR,
+    ResultStore,
+    StoreTelemetry,
+    default_store_root,
+    open_default_store,
+)
+
+__all__ = [
+    "RunKey",
+    "ExperimentPool",
+    "PoolTelemetry",
+    "RunEvent",
+    "default_jobs",
+    "set_default_jobs",
+    "verbose_reporter",
+    "ResultStore",
+    "StoreTelemetry",
+    "default_store_root",
+    "open_default_store",
+    "ENV_JOBS",
+    "ENV_RESULT_DIR",
+]

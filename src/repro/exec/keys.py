@@ -1,0 +1,46 @@
+"""Content-addressed identity of one simulation run.
+
+A :class:`RunKey` names everything that determines a run's statistics:
+the workload, its scale and seed, the cache configuration and the
+simulator version.  Its :meth:`~RunKey.digest` is the address under which
+the result store persists the :class:`~repro.cache.stats.CacheStats`, so
+it must be stable across processes, Python versions and hash
+randomisation — it is built from an explicit canonical string, never from
+``hash()``.
+"""
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.cache.config import CacheConfig
+from repro.cache.fastsim import SIMULATOR_VERSION
+
+
+@dataclass(frozen=True)
+class RunKey:
+    """One (workload, scale, seed, config) simulation request."""
+
+    workload: str
+    scale: float
+    seed: int
+    config: CacheConfig
+
+    def canonical(self) -> str:
+        """The exact string that is hashed into the store address.
+
+        ``scale`` uses ``repr`` so distinct floats never collide, and the
+        simulator version rides along so an engine bump invalidates every
+        previously stored result.
+        """
+        return (
+            f"workload={self.workload}:scale={self.scale!r}:seed={self.seed}:"
+            f"{self.config.cache_key()}:simver={SIMULATOR_VERSION}"
+        )
+
+    def digest(self) -> str:
+        """Hex content address (sha256 of :meth:`canonical`)."""
+        return hashlib.sha256(self.canonical().encode("utf-8")).hexdigest()
+
+    def describe(self) -> str:
+        """Short human-readable label for progress reporting."""
+        return f"{self.workload}@{self.scale:g} on {self.config.name}"

@@ -1,0 +1,200 @@
+"""Parallel experiment execution with dedup, persistence and telemetry.
+
+:class:`ExperimentPool` takes a batch of :class:`~repro.exec.keys.RunKey`
+requests and resolves each through a three-level lookup: an in-memory memo
+(shared with :mod:`repro.core.runner`), the on-disk
+:class:`~repro.exec.store.ResultStore`, and finally computation via
+:func:`repro.cache.fastsim.simulate_trace` — inline for ``jobs=1``, or
+fanned out across a ``ProcessPoolExecutor`` for ``jobs>1``.  Duplicate
+keys are collapsed before any work is scheduled, freshly computed results
+are persisted as they stream back, and every resolution emits a
+:class:`RunEvent` through a pluggable callback (see
+:func:`verbose_reporter` for the ``--verbose`` CLI hook).
+
+Workers recompute from the deterministic workload generators, so parallel
+results are bit-identical to serial execution — the test suite enforces
+this.
+"""
+
+import os
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from repro.cache.stats import CacheStats
+from repro.exec.keys import RunKey
+from repro.exec.store import ResultStore
+
+#: Environment variable setting the default worker count.
+ENV_JOBS = "REPRO_JOBS"
+
+
+#: Process-wide override set by ``--jobs`` CLI flags (None = use $REPRO_JOBS).
+_default_jobs_override: Optional[int] = None
+
+
+def set_default_jobs(jobs: Optional[int]) -> None:
+    """Override the default worker count for this process (0 = all cores)."""
+    global _default_jobs_override
+    _default_jobs_override = jobs
+
+
+def default_jobs() -> int:
+    """Worker count: CLI override, else ``$REPRO_JOBS`` (0 = all cores), else 1."""
+    if _default_jobs_override is not None:
+        jobs = _default_jobs_override
+    else:
+        raw = os.environ.get(ENV_JOBS)
+        if not raw:
+            return 1
+        jobs = int(raw)
+    return os.cpu_count() or 1 if jobs == 0 else max(1, jobs)
+
+
+@dataclass(frozen=True)
+class RunEvent:
+    """One resolved run, reported through the telemetry callback."""
+
+    kind: str  #: "memory", "store" or "computed"
+    key: RunKey
+    seconds: float  #: simulation wall-time (0 for memory/store hits)
+    completed: int  #: runs resolved so far, this batch
+    total: int  #: deduplicated batch size
+
+
+@dataclass
+class PoolTelemetry:
+    """Aggregate counters for one :meth:`ExperimentPool.run_many` batch."""
+
+    requested: int = 0  #: keys passed in, duplicates included
+    deduplicated: int = 0  #: unique keys actually resolved
+    memory_hits: int = 0
+    store_hits: int = 0
+    computed: int = 0
+    sim_seconds: float = 0.0  #: summed per-run simulation wall-time
+    wall_seconds: float = 0.0  #: end-to-end batch wall-time
+
+    def line(self) -> str:
+        """Stable machine-greppable summary (CI asserts on ``computed=``)."""
+        return (
+            f"requested={self.requested} deduplicated={self.deduplicated} "
+            f"memory={self.memory_hits} store={self.store_hits} "
+            f"computed={self.computed} sim_s={self.sim_seconds:.2f} "
+            f"wall_s={self.wall_seconds:.2f}"
+        )
+
+
+def _execute(key: RunKey) -> Tuple[CacheStats, float]:
+    """Simulate one run; used both inline and inside worker processes."""
+    from repro.cache.fastsim import simulate_trace
+    from repro.trace.corpus import load
+
+    trace = load(key.workload, scale=key.scale, seed=key.seed)
+    started = time.perf_counter()
+    stats = simulate_trace(trace, key.config, flush=True)
+    return stats, time.perf_counter() - started
+
+
+def verbose_reporter(stream=None) -> Callable[[RunEvent], None]:
+    """A callback printing one progress line per resolved run."""
+
+    def report(event: RunEvent) -> None:
+        out = stream if stream is not None else sys.stderr
+        label = {"memory": "memo ", "store": "store", "computed": "sim  "}[event.kind]
+        timing = f" ({event.seconds:.2f}s)" if event.kind == "computed" else ""
+        print(
+            f"[{event.completed}/{event.total}] {label} {event.key.describe()}{timing}",
+            file=out,
+        )
+
+    return report
+
+
+class ExperimentPool:
+    """Batch runner: memory -> disk -> compute, optionally in parallel."""
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        jobs: int = 1,
+        callback: Optional[Callable[[RunEvent], None]] = None,
+    ) -> None:
+        self.store = store
+        self.jobs = max(1, jobs)
+        self.callback = callback
+        self.telemetry = PoolTelemetry()
+
+    def _emit(self, kind, key, seconds, completed, total) -> None:
+        if self.callback is not None:
+            self.callback(RunEvent(kind, key, seconds, completed, total))
+
+    def run_many(
+        self,
+        keys: Iterable[RunKey],
+        memo: Optional[Dict[RunKey, CacheStats]] = None,
+    ) -> Dict[RunKey, CacheStats]:
+        """Resolve every key; returns results in first-seen key order.
+
+        ``memo`` is consulted first and updated in place (the runner passes
+        its per-process cache so pool results feed subsequent ``run()``
+        calls for free).  Telemetry covers exactly this batch.
+        """
+        started = time.perf_counter()
+        requested = list(keys)
+        unique = list(dict.fromkeys(requested))
+        telemetry = self.telemetry = PoolTelemetry(
+            requested=len(requested), deduplicated=len(unique)
+        )
+
+        results: Dict[RunKey, CacheStats] = {}
+        pending = []
+        completed = 0
+        total = len(unique)
+        for key in unique:
+            if memo is not None and key in memo:
+                results[key] = memo[key]
+                telemetry.memory_hits += 1
+                completed += 1
+                self._emit("memory", key, 0.0, completed, total)
+                continue
+            stored = self.store.get(key) if self.store is not None else None
+            if stored is not None:
+                results[key] = stored
+                if memo is not None:
+                    memo[key] = stored
+                telemetry.store_hits += 1
+                completed += 1
+                self._emit("store", key, 0.0, completed, total)
+                continue
+            pending.append(key)
+
+        def resolve(key: RunKey, stats: CacheStats, seconds: float) -> None:
+            nonlocal completed
+            results[key] = stats
+            if memo is not None:
+                memo[key] = stats
+            if self.store is not None:
+                self.store.put(key, stats)
+            telemetry.computed += 1
+            telemetry.sim_seconds += seconds
+            completed += 1
+            self._emit("computed", key, seconds, completed, total)
+
+        if pending:
+            if self.jobs == 1 or len(pending) == 1:
+                # Serial fallback: never spawns worker processes.
+                for key in pending:
+                    stats, seconds = _execute(key)
+                    resolve(key, stats, seconds)
+            else:
+                workers = min(self.jobs, len(pending))
+                with ProcessPoolExecutor(max_workers=workers) as executor:
+                    futures = {executor.submit(_execute, key): key for key in pending}
+                    for future in as_completed(futures):
+                        stats, seconds = future.result()
+                        resolve(futures[future], stats, seconds)
+
+        telemetry.wall_seconds = time.perf_counter() - started
+        return {key: results[key] for key in unique}

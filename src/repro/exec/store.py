@@ -1,0 +1,223 @@
+"""On-disk, content-addressed result store.
+
+Layout: one JSON file per result under ``<root>/v<SCHEMA>/<aa>/<digest>.json``
+where ``aa`` is the first two hex digits of the :class:`~repro.exec.keys.RunKey`
+digest (a 256-way shard keeps directories small for large sweeps).  Each
+record carries the schema version, the canonical key string and the full
+:class:`~repro.cache.stats.CacheStats` counter dict.
+
+Guarantees:
+
+- **atomic writes** — records are written to a temp file in the shard
+  directory and ``os.replace``d into place, so readers never observe a
+  partial record, even across concurrent writers;
+- **corruption tolerance** — a truncated, garbled or schema-mismatched
+  record reads as a miss (and is counted in telemetry), never a crash;
+  the caller simply recomputes and overwrites it;
+- **invalidation** — the simulator version is part of the content hash
+  (see :meth:`RunKey.canonical`), so bumping it orphans old records;
+  ``gc()`` deletes orphans and corrupt files.
+
+The default location is ``$REPRO_RESULT_DIR`` if set, else
+``~/.cache/repro/results`` (honouring ``$XDG_CACHE_HOME``).  Setting
+``REPRO_RESULT_DIR`` to ``off``, ``none`` or ``0`` disables persistence
+entirely.
+"""
+
+import json
+import os
+import pathlib
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.cache.stats import CacheStats
+from repro.exec.keys import RunKey
+
+#: Bump when the record layout changes; old schema dirs become garbage.
+STORE_SCHEMA = 1
+
+#: Environment variable overriding the store location ("off" disables).
+ENV_RESULT_DIR = "REPRO_RESULT_DIR"
+
+_DISABLED_VALUES = ("", "off", "none", "0", "disabled")
+
+
+@dataclass
+class StoreTelemetry:
+    """Counters describing how the store has been used this process."""
+
+    hits: int = 0  #: get() calls served from disk
+    misses: int = 0  #: get() calls with no record on disk
+    corrupt: int = 0  #: records skipped because they failed to parse
+    writes: int = 0  #: records persisted
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "writes": self.writes,
+        }
+
+
+class ResultStore:
+    """Persistent map from :class:`RunKey` to :class:`CacheStats`."""
+
+    def __init__(self, root) -> None:
+        self.root = pathlib.Path(root)
+        self.telemetry = StoreTelemetry()
+
+    # -- addressing ---------------------------------------------------------
+
+    @property
+    def schema_dir(self) -> pathlib.Path:
+        return self.root / f"v{STORE_SCHEMA}"
+
+    def path_for(self, key: RunKey) -> pathlib.Path:
+        digest = key.digest()
+        return self.schema_dir / digest[:2] / f"{digest}.json"
+
+    # -- read/write ---------------------------------------------------------
+
+    def get(self, key: RunKey) -> Optional[CacheStats]:
+        """Load a stored result, or ``None`` on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except OSError:
+            self.telemetry.misses += 1
+            return None
+        try:
+            record = json.loads(raw)
+            if record["schema"] != STORE_SCHEMA:
+                raise ValueError(f"schema {record['schema']} != {STORE_SCHEMA}")
+            if record["key"] != key.canonical():
+                raise ValueError("stored key does not match address")
+            stats = CacheStats.from_dict(record["stats"])
+        except (ValueError, KeyError, TypeError):
+            # A bad record is never fatal: treat as a miss and recompute.
+            self.telemetry.corrupt += 1
+            return None
+        self.telemetry.hits += 1
+        return stats
+
+    def put(self, key: RunKey, stats: CacheStats) -> None:
+        """Persist a result atomically (write temp file, then rename)."""
+        record = {
+            "schema": STORE_SCHEMA,
+            "key": key.canonical(),
+            "stats": stats.to_dict(),
+        }
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as tmp:
+                json.dump(record, tmp, separators=(",", ":"))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.telemetry.writes += 1
+
+    def contains(self, key: RunKey) -> bool:
+        """Cheap existence probe (no parse, no telemetry)."""
+        return self.path_for(key).exists()
+
+    # -- maintenance --------------------------------------------------------
+
+    def _record_paths(self) -> Iterator[pathlib.Path]:
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("v*/??/*.json")):
+            if not path.name.startswith(".tmp-"):
+                yield path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._record_paths())
+
+    def stats(self) -> Dict[str, object]:
+        """Summary of what is on disk (for ``repro store stats``)."""
+        records = 0
+        size_bytes = 0
+        stale = 0
+        for path in self._record_paths():
+            records += 1
+            try:
+                size_bytes += path.stat().st_size
+            except OSError:
+                continue
+            if f"v{STORE_SCHEMA}" not in path.parts:
+                stale += 1
+        return {
+            "root": str(self.root),
+            "records": records,
+            "bytes": size_bytes,
+            "stale_schema_records": stale,
+            **self.telemetry.snapshot(),
+        }
+
+    def clear(self) -> int:
+        """Delete every record; returns the number removed."""
+        removed = 0
+        for path in list(self._record_paths()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def gc(self) -> Tuple[int, int]:
+        """Drop corrupt and stale-schema records.
+
+        Returns ``(kept, removed)``.  A record is kept only if it lives
+        under the current schema directory and parses cleanly all the way
+        through :meth:`CacheStats.from_dict`.
+        """
+        kept = removed = 0
+        for path in list(self._record_paths()):
+            keep = f"v{STORE_SCHEMA}" in path.parts
+            if keep:
+                try:
+                    record = json.loads(path.read_text(encoding="utf-8"))
+                    keep = record["schema"] == STORE_SCHEMA
+                    CacheStats.from_dict(record["stats"])
+                except (OSError, ValueError, KeyError, TypeError):
+                    keep = False
+            if keep:
+                kept += 1
+            else:
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return kept, removed
+
+
+def default_store_root() -> Optional[pathlib.Path]:
+    """Resolve the store location from the environment.
+
+    ``None`` means persistence is disabled.
+    """
+    override = os.environ.get(ENV_RESULT_DIR)
+    if override is not None:
+        if override.strip().lower() in _DISABLED_VALUES:
+            return None
+        return pathlib.Path(override).expanduser()
+    cache_home = os.environ.get("XDG_CACHE_HOME")
+    base = pathlib.Path(cache_home) if cache_home else pathlib.Path.home() / ".cache"
+    return base / "repro" / "results"
+
+
+def open_default_store() -> Optional[ResultStore]:
+    """A :class:`ResultStore` at the default location, or ``None`` if off."""
+    root = default_store_root()
+    return None if root is None else ResultStore(root)

@@ -8,6 +8,7 @@ abstract base the six benchmark models derive from.
 """
 
 import random
+import zlib
 from abc import ABC, abstractmethod
 from typing import List
 
@@ -149,7 +150,12 @@ class Workload(ABC):
     def build(self) -> Trace:
         """Generate this workload's trace (deterministic in scale and seed)."""
         builder = RefBuilder(self.instructions_per_ref)
-        rng = random.Random(self.seed ^ hash(self.name) & 0xFFFFFFFF)
+        # Salt the seed per workload with a *stable* hash: str.hash() is
+        # randomised per process (PYTHONHASHSEED), which would make the
+        # "same" trace differ between processes and poison the
+        # content-addressed result store.
+        name_salt = zlib.crc32(self.name.encode("utf-8"))
+        rng = random.Random(self.seed ^ name_salt)
         self._emit(builder, rng)
         return builder.build(self.name)
 

@@ -1,0 +1,98 @@
+"""CacheStats dict round-trips and CacheConfig cache keys."""
+
+import json
+from dataclasses import fields, replace
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.policies import WriteHitPolicy, WriteMissPolicy
+from repro.cache.stats import CacheStats
+
+
+def distinct_stats() -> CacheStats:
+    """A CacheStats with a different nonzero value in every counter."""
+    stats = CacheStats()
+    for index, spec in enumerate(fields(CacheStats)):
+        if spec.name == "extra":
+            stats.extra = {"line_allocations": 999}
+        else:
+            setattr(stats, spec.name, index + 1)
+    return stats
+
+
+class TestCacheStatsRoundTrip:
+    def test_round_trip_every_field(self):
+        stats = distinct_stats()
+        clone = CacheStats.from_dict(stats.to_dict())
+        assert clone == stats
+        for spec in fields(CacheStats):
+            assert getattr(clone, spec.name) == getattr(stats, spec.name), spec.name
+
+    def test_flush_counters_serialized(self):
+        payload = distinct_stats().to_dict()
+        flush_fields = [name for name in payload if name.startswith("flush")]
+        assert sorted(flush_fields) == [
+            "flush_writeback_bytes",
+            "flushed_dirty_bytes",
+            "flushed_dirty_lines",
+            "flushed_lines",
+        ]
+
+    def test_json_round_trip(self):
+        stats = distinct_stats()
+        clone = CacheStats.from_dict(json.loads(json.dumps(stats.to_dict())))
+        assert clone == stats
+
+    def test_to_dict_copies_extra(self):
+        stats = distinct_stats()
+        stats.to_dict()["extra"]["mutated"] = True
+        assert "mutated" not in stats.extra
+
+    def test_missing_fields_default(self):
+        stats = CacheStats.from_dict({"reads": 7})
+        assert stats.reads == 7
+        assert stats.writes == 0
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="no_such_counter"):
+            CacheStats.from_dict({"no_such_counter": 1})
+
+    def test_default_round_trip(self):
+        assert CacheStats.from_dict(CacheStats().to_dict()) == CacheStats()
+
+
+class TestCacheConfigKey:
+    def test_equal_configs_equal_keys(self):
+        assert CacheConfig().cache_key() == CacheConfig().cache_key()
+
+    def test_name_is_excluded(self):
+        assert (
+            CacheConfig(name="alpha").cache_key() == CacheConfig(name="beta").cache_key()
+        )
+
+    @pytest.mark.parametrize(
+        "variant",
+        [
+            dict(size=16 * 1024),
+            dict(line_size=32),
+            dict(associativity=2),
+            dict(write_hit=WriteHitPolicy.WRITE_THROUGH),
+            dict(write_miss=WriteMissPolicy.WRITE_VALIDATE),
+            dict(valid_granularity=1),
+            dict(subblock_dirty_writeback=True),
+            dict(subblock_fetch=True),
+            dict(replacement="fifo"),
+            dict(store_data=True),
+        ],
+        ids=lambda variant: next(iter(variant)),
+    )
+    def test_every_field_feeds_the_key(self, variant):
+        assert replace(CacheConfig(), **variant).cache_key() != CacheConfig().cache_key()
+
+    def test_key_matches_equality(self):
+        # Two configs compare equal iff their cache keys match.
+        same = CacheConfig(size="8KB", name="renamed")
+        other = CacheConfig(size="16KB")
+        assert same == CacheConfig() and same.cache_key() == CacheConfig().cache_key()
+        assert other != CacheConfig() and other.cache_key() != CacheConfig().cache_key()

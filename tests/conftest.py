@@ -15,6 +15,31 @@ from repro.trace.trace import Trace
 TEST_SCALE = 0.12
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_store(tmp_path_factory):
+    """Point the persistent result store at a session-scoped tmp dir.
+
+    Tests must neither read stale results from nor pollute the user's
+    ``~/.cache/repro``; within the session the store still behaves
+    normally, so the suite exercises the real memory -> disk -> compute
+    path.
+    """
+    import os
+
+    from repro.core import runner
+
+    root = tmp_path_factory.mktemp("result-store")
+    old = os.environ.get("REPRO_RESULT_DIR")
+    os.environ["REPRO_RESULT_DIR"] = str(root)
+    runner.reset_store()
+    yield
+    if old is None:
+        os.environ.pop("REPRO_RESULT_DIR", None)
+    else:
+        os.environ["REPRO_RESULT_DIR"] = old
+    runner.reset_store()
+
+
 @pytest.fixture(scope="session")
 def small_corpus():
     """The six benchmarks at test scale, keyed by name."""

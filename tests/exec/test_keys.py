@@ -1,0 +1,48 @@
+"""RunKey: stable, collision-free content addresses."""
+
+from repro.cache.config import CacheConfig
+from repro.exec import keys as keys_module
+from repro.exec.keys import RunKey
+
+
+def test_digest_is_stable_and_hex():
+    key = RunKey("ccom", 1.0, 1991, CacheConfig())
+    assert key.digest() == RunKey("ccom", 1.0, 1991, CacheConfig()).digest()
+    assert len(key.digest()) == 64
+    int(key.digest(), 16)
+
+
+def test_digest_depends_on_every_component():
+    base = RunKey("ccom", 1.0, 1991, CacheConfig())
+    variants = [
+        RunKey("grr", 1.0, 1991, CacheConfig()),
+        RunKey("ccom", 0.5, 1991, CacheConfig()),
+        RunKey("ccom", 1.0, 7, CacheConfig()),
+        RunKey("ccom", 1.0, 1991, CacheConfig(size="16KB")),
+    ]
+    digests = {base.digest()} | {variant.digest() for variant in variants}
+    assert len(digests) == len(variants) + 1
+
+
+def test_close_scales_do_not_collide():
+    a = RunKey("ccom", 0.1, 1991, CacheConfig())
+    b = RunKey("ccom", 0.1 + 1e-12, 1991, CacheConfig())
+    assert a.digest() != b.digest()
+
+
+def test_config_name_does_not_affect_digest():
+    named = RunKey("ccom", 1.0, 1991, CacheConfig(name="anything"))
+    assert named.digest() == RunKey("ccom", 1.0, 1991, CacheConfig()).digest()
+
+
+def test_simulator_version_invalidates(monkeypatch):
+    key = RunKey("ccom", 1.0, 1991, CacheConfig())
+    before = key.digest()
+    monkeypatch.setattr(keys_module, "SIMULATOR_VERSION", 999)
+    assert key.digest() != before
+
+
+def test_key_is_hashable_memo_key():
+    a = RunKey("ccom", 1.0, 1991, CacheConfig(name="x"))
+    b = RunKey("ccom", 1.0, 1991, CacheConfig(name="y"))
+    assert a == b and len({a, b}) == 1

@@ -1,0 +1,151 @@
+"""ResultStore: round-trips, atomicity, corruption tolerance, maintenance."""
+
+import json
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.stats import CacheStats
+from repro.exec.keys import RunKey
+from repro.exec.store import (
+    STORE_SCHEMA,
+    ResultStore,
+    default_store_root,
+    open_default_store,
+)
+
+
+def make_key(workload="ccom", scale=0.05, seed=1991, **config_kwargs) -> RunKey:
+    return RunKey(workload, scale, seed, CacheConfig(**config_kwargs))
+
+
+def make_stats(reads=100) -> CacheStats:
+    stats = CacheStats(reads=reads, writes=40, fetches=7)
+    stats.extra["line_allocations"] = 13
+    return stats
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+class TestRoundTrip:
+    def test_get_missing_is_none(self, store):
+        assert store.get(make_key()) is None
+        assert store.telemetry.misses == 1
+
+    def test_put_get_identical(self, store):
+        key, stats = make_key(), make_stats()
+        store.put(key, stats)
+        assert store.get(key) == stats
+        assert store.telemetry.hits == 1 and store.telemetry.writes == 1
+
+    def test_distinct_keys_distinct_records(self, store):
+        store.put(make_key(size="1KB"), make_stats(1))
+        store.put(make_key(size="2KB"), make_stats(2))
+        assert store.get(make_key(size="1KB")).reads == 1
+        assert store.get(make_key(size="2KB")).reads == 2
+        assert len(store) == 2
+
+    def test_overwrite_replaces(self, store):
+        key = make_key()
+        store.put(key, make_stats(1))
+        store.put(key, make_stats(2))
+        assert store.get(key).reads == 2
+        assert len(store) == 1
+
+    def test_no_temp_files_left_behind(self, store):
+        store.put(make_key(), make_stats())
+        leftovers = [p for p in store.root.rglob(".tmp-*")]
+        assert leftovers == []
+
+
+class TestCorruptionTolerance:
+    def test_truncated_record_recovers(self, store):
+        key = make_key()
+        store.put(key, make_stats())
+        path = store.path_for(key)
+        path.write_text(path.read_text()[:25], encoding="utf-8")
+        assert store.get(key) is None
+        assert store.telemetry.corrupt == 1
+        # The caller recomputes and overwrites; the store heals.
+        store.put(key, make_stats())
+        assert store.get(key) == make_stats()
+
+    def test_garbage_record_recovers(self, store):
+        key = make_key()
+        store.put(key, make_stats())
+        store.path_for(key).write_text("not json at all {{{", encoding="utf-8")
+        assert store.get(key) is None
+        assert store.telemetry.corrupt == 1
+
+    def test_schema_mismatch_is_a_miss(self, store):
+        key = make_key()
+        store.put(key, make_stats())
+        path = store.path_for(key)
+        record = json.loads(path.read_text(encoding="utf-8"))
+        record["schema"] = STORE_SCHEMA + 1
+        path.write_text(json.dumps(record), encoding="utf-8")
+        assert store.get(key) is None
+
+    def test_wrong_key_content_is_a_miss(self, store):
+        # A record whose body does not match its address is never trusted.
+        key, other = make_key(size="1KB"), make_key(size="2KB")
+        store.put(key, make_stats())
+        store.path_for(other).parent.mkdir(parents=True, exist_ok=True)
+        store.path_for(key).rename(store.path_for(other))
+        assert store.get(other) is None
+        assert store.telemetry.corrupt == 1
+
+    def test_unknown_stats_field_is_a_miss(self, store):
+        key = make_key()
+        store.put(key, make_stats())
+        path = store.path_for(key)
+        record = json.loads(path.read_text(encoding="utf-8"))
+        record["stats"]["counter_from_the_future"] = 1
+        path.write_text(json.dumps(record), encoding="utf-8")
+        assert store.get(key) is None
+
+
+class TestMaintenance:
+    def test_stats_counts_records_and_bytes(self, store):
+        store.put(make_key(size="1KB"), make_stats())
+        store.put(make_key(size="2KB"), make_stats())
+        summary = store.stats()
+        assert summary["records"] == 2
+        assert summary["bytes"] > 0
+        assert summary["root"] == str(store.root)
+
+    def test_clear_removes_everything(self, store):
+        store.put(make_key(size="1KB"), make_stats())
+        store.put(make_key(size="2KB"), make_stats())
+        assert store.clear() == 2
+        assert len(store) == 0
+
+    def test_gc_drops_corrupt_keeps_good(self, store):
+        good, bad = make_key(size="1KB"), make_key(size="2KB")
+        store.put(good, make_stats())
+        store.put(bad, make_stats())
+        store.path_for(bad).write_text("garbage", encoding="utf-8")
+        kept, removed = store.gc()
+        assert (kept, removed) == (1, 1)
+        assert store.get(good) is not None
+        assert not store.path_for(bad).exists()
+
+
+class TestEnvironment:
+    def test_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULT_DIR", str(tmp_path / "custom"))
+        assert open_default_store().root == tmp_path / "custom"
+
+    @pytest.mark.parametrize("value", ["off", "none", "0", "", "OFF"])
+    def test_env_disables(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_RESULT_DIR", value)
+        assert default_store_root() is None
+        assert open_default_store() is None
+
+    def test_default_under_cache_home(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_RESULT_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        assert default_store_root() == tmp_path / "repro" / "results"

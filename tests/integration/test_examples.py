@@ -1,12 +1,15 @@
 """Every example script must run cleanly end to end."""
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+EXAMPLES_DIR = REPO_ROOT / "examples"
+SRC_DIR = REPO_ROOT / "src"
 
 #: (script, extra CLI args to keep the run fast)
 EXAMPLES = [
@@ -23,12 +26,21 @@ EXAMPLES = [
 def test_example_runs(script, args, tmp_path):
     path = EXAMPLES_DIR / script
     assert path.exists(), script
+    env = dict(os.environ)
+    # The examples import repro from the source tree; the subprocess does
+    # not inherit pytest's sys.path, so src/ must go on PYTHONPATH.
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC_DIR)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    # Keep example runs hermetic: no reads/writes against the user's store.
+    env["REPRO_RESULT_DIR"] = str(tmp_path / "result-store")
     result = subprocess.run(
         [sys.executable, str(path)] + args,
         capture_output=True,
         text=True,
         timeout=300,
         cwd=str(tmp_path),  # examples must not depend on the CWD
+        env=env,
     )
     assert result.returncode == 0, result.stderr
     assert result.stdout.strip(), f"{script} printed nothing"
