@@ -1,8 +1,29 @@
 """Simulator throughput benchmarks (references per second).
 
-These are conventional timing benchmarks (multiple rounds): they track
-the speed of the two engines so regressions in the hot loops show up.
+Two entry points:
+
+- As a pytest-benchmark module: conventional timing benchmarks of every
+  engine (the ``auto`` dispatch, the forced ``vector``/``loop``/
+  ``reference`` backends, and trace generation), so regressions in any
+  hot path show up.
+
+- As a script (``python benchmarks/bench_simulator.py``): a small smoke
+  grid comparing the loop and vector engines across the four write-miss
+  policies, written to ``BENCH_simulator.json`` as refs/sec plus the
+  vector-over-loop speedup.  ``--check BASELINE`` compares the measured
+  *speedups* against a committed baseline and fails on a >30% regression
+  (``--tolerance``).  Speedup ratios are compared rather than absolute
+  refs/sec because the ratio is what the vectorisation owns — absolute
+  throughput varies with the host, and a CI runner is not the machine the
+  baseline was recorded on.  ``--require-speedup X`` additionally demands
+  the default write-back configuration reach at least ``X``.
 """
+
+import argparse
+import json
+import pathlib
+import sys
+import time
 
 import pytest
 
@@ -12,27 +33,46 @@ from repro.cache.fastsim import simulate_trace
 from repro.cache.policies import WriteHitPolicy, WriteMissPolicy
 from repro.trace.corpus import load
 
+BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_simulator.json"
+
+#: The smoke grid: the default write-back configuration first (the one
+#: acceptance gates on), then one configuration per remaining policy.
+SMOKE_CONFIGS = [
+    ("wb-fetch-on-write", WriteHitPolicy.WRITE_BACK, WriteMissPolicy.FETCH_ON_WRITE),
+    ("wb-write-validate", WriteHitPolicy.WRITE_BACK, WriteMissPolicy.WRITE_VALIDATE),
+    ("wt-write-around", WriteHitPolicy.WRITE_THROUGH, WriteMissPolicy.WRITE_AROUND),
+    ("wt-write-invalidate", WriteHitPolicy.WRITE_THROUGH, WriteMissPolicy.WRITE_INVALIDATE),
+]
+DEFAULT_CONFIG = SMOKE_CONFIGS[0][0]
+
 
 @pytest.fixture(scope="module")
 def trace():
     return load("grr", scale=0.3)
 
 
-def test_fastsim_throughput_write_back(benchmark, trace):
+def test_dispatch_throughput_write_back(benchmark, trace):
+    # The path every experiment driver takes: auto dispatch (vector here).
     config = CacheConfig(size=8192, line_size=16)
     stats = benchmark(simulate_trace, trace, config)
     assert stats.fetches > 0
 
 
-def test_fastsim_throughput_write_validate(benchmark, trace):
+def test_vector_throughput_write_validate(benchmark, trace):
     config = CacheConfig(
         size=8192,
         line_size=16,
         write_hit=WriteHitPolicy.WRITE_THROUGH,
         write_miss=WriteMissPolicy.WRITE_VALIDATE,
     )
-    stats = benchmark(simulate_trace, trace, config)
+    stats = benchmark(simulate_trace, trace, config, backend="vector")
     assert stats.validate_allocations > 0
+
+
+def test_loop_throughput_write_back(benchmark, trace):
+    config = CacheConfig(size=8192, line_size=16)
+    stats = benchmark(simulate_trace, trace, config, backend="loop")
+    assert stats.fetches > 0
 
 
 def test_reference_simulator_throughput(benchmark, trace):
@@ -49,3 +89,120 @@ def test_trace_generation_throughput(benchmark):
 
     trace = benchmark(lambda: WORKLOADS["met"](scale=0.1).build())
     assert len(trace) > 0
+
+
+# ---------------------------------------------------------------------------
+# Script mode: the CI smoke grid.
+# ---------------------------------------------------------------------------
+
+
+def _best_refs_per_sec(trace, config, backend, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        simulate_trace(trace, config, backend=backend)
+        best = min(best, time.perf_counter() - started)
+    return len(trace) / best
+
+
+def run_smoke_grid(workload="grr", scale=0.3, repeats=3):
+    trace = load(workload, scale=scale)
+    trace.addresses  # warm the list views so the loop engine is not charged
+    report = {
+        "workload": workload,
+        "scale": scale,
+        "refs": len(trace),
+        "default_config": DEFAULT_CONFIG,
+        "configs": {},
+    }
+    for name, hit, miss in SMOKE_CONFIGS:
+        config = CacheConfig(size=8192, line_size=16, write_hit=hit, write_miss=miss)
+        loop = _best_refs_per_sec(trace, config, "loop", repeats)
+        vector = _best_refs_per_sec(trace, config, "vector", repeats)
+        report["configs"][name] = {
+            "loop_refs_per_sec": round(loop),
+            "vector_refs_per_sec": round(vector),
+            "speedup": round(vector / loop, 2),
+        }
+    return report
+
+
+def check_against_baseline(report, baseline, tolerance):
+    """Names of configs whose speedup regressed beyond ``tolerance``."""
+    regressions = []
+    for name, measured in report["configs"].items():
+        recorded = baseline.get("configs", {}).get(name)
+        if recorded is None:
+            continue
+        floor = (1.0 - tolerance) * recorded["speedup"]
+        if measured["speedup"] < floor:
+            regressions.append(
+                f"{name}: speedup {measured['speedup']:.2f} < "
+                f"{floor:.2f} (baseline {recorded['speedup']:.2f} - {tolerance:.0%})"
+            )
+    return regressions
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workload", default="grr")
+    parser.add_argument("--scale", type=float, default=0.3)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=BASELINE_PATH,
+        help="where to write the JSON report (default: the committed baseline)",
+    )
+    parser.add_argument(
+        "--check",
+        type=pathlib.Path,
+        default=None,
+        metavar="BASELINE",
+        help="fail if any speedup regresses >tolerance vs this baseline",
+    )
+    parser.add_argument("--tolerance", type=float, default=0.3)
+    parser.add_argument(
+        "--require-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail unless the default write-back config reaches X",
+    )
+    options = parser.parse_args(argv)
+
+    baseline = None
+    if options.check is not None:
+        baseline = json.loads(options.check.read_text(encoding="utf-8"))
+
+    report = run_smoke_grid(options.workload, options.scale, options.repeats)
+    options.output.write_text(
+        json.dumps(report, indent=2) + "\n", encoding="utf-8"
+    )
+    for name, row in report["configs"].items():
+        print(
+            f"{name:22s} loop {row['loop_refs_per_sec'] / 1e6:6.2f} Mref/s  "
+            f"vector {row['vector_refs_per_sec'] / 1e6:6.2f} Mref/s  "
+            f"speedup {row['speedup']:.2f}x"
+        )
+
+    failed = False
+    if baseline is not None:
+        regressions = check_against_baseline(report, baseline, options.tolerance)
+        for line in regressions:
+            print(f"REGRESSION {line}", file=sys.stderr)
+        failed = failed or bool(regressions)
+    if options.require_speedup is not None:
+        speedup = report["configs"][DEFAULT_CONFIG]["speedup"]
+        if speedup < options.require_speedup:
+            print(
+                f"REGRESSION {DEFAULT_CONFIG}: speedup {speedup:.2f} < required "
+                f"{options.require_speedup:.2f}",
+                file=sys.stderr,
+            )
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

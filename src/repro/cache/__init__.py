@@ -11,8 +11,11 @@ data cache simulator with:
 - victim statistics with cold-stop and flush-stop accounting (Section 5).
 
 :class:`repro.cache.cache.Cache` is the general reference simulator
-(set-associative, optional data fidelity); :mod:`repro.cache.fastsim` is an
-optimised direct-mapped stats-only engine validated against it.
+(set-associative, optional data fidelity); :mod:`repro.cache.fastsim`
+dispatches stats-only direct-mapped runs to the fastest bit-identical
+engine — the vectorised numpy kernel :mod:`repro.cache.vecsim` where it
+applies, a tight per-reference Python loop otherwise — both validated
+against the reference.
 """
 
 from repro.cache.policies import (

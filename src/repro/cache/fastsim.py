@@ -1,39 +1,96 @@
-"""Optimised direct-mapped, stats-only simulation.
+"""Optimised direct-mapped, stats-only simulation — the dispatch front end.
 
 Every cache in the paper's measurement sections is direct-mapped, and the
-figure sweeps run six traces through dozens of configurations, so this
-module provides a tight single-function simulator for that case: flat
-Python lists for tag/valid/dirty state, all counters in locals, no object
-allocation per reference.  Results are bit-identical to the reference
-:class:`repro.cache.cache.Cache` (a property the test suite enforces);
-non-direct-mapped configurations transparently fall back to the reference
-simulator.
+figure sweeps run six traces through dozens of configurations, so
+:func:`simulate_trace` routes each run to the fastest engine that is
+bit-identical to the reference :class:`repro.cache.cache.Cache` (a
+property the test suite enforces):
+
+- :mod:`repro.cache.vecsim` — whole-trace numpy array passes, for
+  stats-only direct-mapped configurations with lines up to 64 B;
+- :func:`_simulate_direct_mapped` — a tight per-reference Python loop
+  (flat lists for tag/valid/dirty state, counters in locals), for
+  direct-mapped configurations the vector kernel does not cover;
+- the reference ``Cache`` for everything else (set-associative,
+  data-carrying, sectored).
+
+Set ``$REPRO_SIM_BACKEND`` (or pass ``backend=``) to ``loop``, ``vector``
+or ``reference`` to pin an engine — benchmarks use this to compare them;
+``auto`` (the default) picks as above.
 """
 
+import os
+
+from repro.cache import vecsim
 from repro.cache.cache import Cache
 from repro.cache.config import CacheConfig
 from repro.cache.policies import WriteMissPolicy
 from repro.cache.stats import CacheStats
+from repro.common.errors import ConfigurationError
 from repro.trace.trace import Trace
 
 #: Bump whenever a simulator change can alter the statistics produced for
 #: an unchanged (trace, config) pair.  The on-disk result store folds this
 #: into every content hash, so a bump invalidates all persisted results.
+#: The vectorised kernel is bit-identical to the loop, so it shares the
+#: loop's version.
 SIMULATOR_VERSION = 1
 
+#: Environment variable pinning the simulation engine.
+ENV_BACKEND = "REPRO_SIM_BACKEND"
 
-def simulate_trace(trace: Trace, config: CacheConfig, flush: bool = True) -> CacheStats:
+_BACKENDS = ("auto", "vector", "loop", "reference")
+
+
+def _resolve_backend(backend):
+    choice = backend if backend is not None else os.environ.get(ENV_BACKEND, "auto")
+    if choice not in _BACKENDS:
+        raise ConfigurationError(
+            f"unknown simulator backend {choice!r}; expected one of {_BACKENDS}"
+        )
+    return choice
+
+
+def _simulate_reference(trace: Trace, config: CacheConfig, flush: bool) -> CacheStats:
+    cache = Cache(config)
+    stats = cache.run(trace)
+    if flush:
+        cache.flush()
+    return stats
+
+
+def simulate_trace(
+    trace: Trace, config: CacheConfig, flush: bool = True, backend: str = None
+) -> CacheStats:
     """Run ``trace`` through a cache described by ``config``.
 
     ``flush`` controls whether flush-stop statistics are collected at the
-    end of the run (the cache state is discarded either way).
+    end of the run (the cache state is discarded either way).  ``backend``
+    overrides engine selection (``auto``/``vector``/``loop``/``reference``;
+    default: ``$REPRO_SIM_BACKEND`` or ``auto``).  Every engine produces
+    bit-identical :class:`CacheStats`.
     """
+    choice = _resolve_backend(backend)
+    if choice == "reference":
+        return _simulate_reference(trace, config, flush)
     if not config.is_direct_mapped or config.store_data or config.subblock_fetch:
-        cache = Cache(config)
-        stats = cache.run(trace)
-        if flush:
-            cache.flush()
-        return stats
+        if choice != "auto":
+            raise ConfigurationError(
+                f"backend {choice!r} cannot simulate {config.name}: only the "
+                "reference simulator covers set-associative, data-carrying "
+                "or sectored configurations"
+            )
+        return _simulate_reference(trace, config, flush)
+    if choice == "loop":
+        return _simulate_direct_mapped(trace, config, flush)
+    if vecsim.supports(config):
+        return vecsim.simulate_direct_mapped(trace, config, flush)
+    if choice == "vector":
+        raise ConfigurationError(
+            f"backend 'vector' cannot simulate {config.name}: lines wider "
+            f"than {vecsim.MAX_LINE_SIZE} B exceed the kernel's uint64 "
+            "byte-mask lanes"
+        )
     return _simulate_direct_mapped(trace, config, flush)
 
 

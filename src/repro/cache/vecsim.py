@@ -1,0 +1,429 @@
+"""Vectorised direct-mapped, stats-only simulation.
+
+Replaces the per-reference Python loop of
+:func:`repro.cache.fastsim._simulate_direct_mapped` with whole-trace numpy
+array passes.  The formulation (see ``docs/simulator_semantics.md``,
+"Vectorized kernel"):
+
+1. **Segment expansion** — references wider than a line are split into
+   per-line segments vectorised (``np.repeat`` + within-group offsets),
+   and ``set index``/``tag``/byte-``mask`` arrays are computed for the
+   whole stream at once.  Byte masks pack into one ``uint64`` lane per
+   segment, which bounds the supported line size at 64 B (the paper
+   sweeps 4-64 B).
+
+2. **Previous-reference link** — a stable sort by set index groups each
+   set's segments contiguously while preserving program order inside the
+   group, so "the previous reference to this set" is simply the previous
+   element.  For the allocating policies (fetch-on-write,
+   write-validate) every segment installs its own tag, so the resident
+   tag seen by segment *i* is exactly the tag of segment *i-1* in the
+   group: hit/miss classification, victim counts and write-through
+   traffic become pure array expressions.
+
+3. **Segmented mask scans** — valid/dirty byte masks evolve by bitwise
+   OR within maximal same-(set, tag) runs, so dirty-victim byte counts,
+   writes-to-already-dirty and write-validate partial-read detection are
+   segmented OR-scans (Hillis-Steele doubling, ``O(n log n)`` array
+   ops).  The no-allocate policies (write-around, write-invalidate)
+   instead key their scans on the *last preceding load* (the only event
+   that installs a line), which a running maximum provides.
+
+Results are bit-identical to :class:`repro.cache.cache.Cache` and to the
+``fastsim`` loop — the differential suite in ``tests/cache/test_vecsim.py``
+enforces this stat-for-stat across every policy combination.
+Configurations outside :func:`supports` (set-associative, data-carrying,
+sectored, or lines wider than 64 B) take the existing engines instead.
+"""
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.cache.config import CacheConfig
+from repro.cache.policies import WriteMissPolicy
+from repro.cache.stats import CacheStats
+from repro.trace.events import WRITE
+from repro.trace.trace import Trace
+
+#: Widest line whose byte mask fits one uint64 lane.
+MAX_LINE_SIZE = 64
+
+#: ``_SIZE_MASKS[k]`` = mask of the low ``k`` bytes, as a uint64 lane.
+_SIZE_MASKS = np.array(
+    [(1 << size) - 1 for size in range(MAX_LINE_SIZE + 1)], dtype=np.uint64
+)
+
+
+def supports(config: CacheConfig) -> bool:
+    """Whether this kernel can simulate ``config`` bit-identically."""
+    return (
+        config.is_direct_mapped
+        and not config.store_data
+        and not config.subblock_fetch
+        and config.line_size <= MAX_LINE_SIZE
+    )
+
+
+def simulate_direct_mapped(trace: Trace, config: CacheConfig, flush: bool) -> CacheStats:
+    """Run ``trace`` through a direct-mapped stats-only cache, vectorised.
+
+    The caller (:func:`repro.cache.fastsim.simulate_trace`) guarantees
+    :func:`supports`; this function assumes it.
+    """
+    assert supports(config), "caller must check vecsim.supports(config)"
+    stats = CacheStats(line_size=config.line_size)
+    stats.instructions = trace.instruction_count
+    if len(trace) == 0:
+        return stats
+
+    stream = _SegmentStream(trace, config)
+    miss_policy = config.write_miss
+    if miss_policy in (WriteMissPolicy.FETCH_ON_WRITE, WriteMissPolicy.WRITE_VALIDATE):
+        _classify_allocating(stream, config, flush, stats)
+    elif miss_policy is WriteMissPolicy.WRITE_AROUND:
+        _classify_write_around(stream, config, flush, stats)
+    else:  # write-invalidate
+        _classify_write_invalidate(stream, config, flush, stats)
+
+    kinds = trace.kind_array
+    stats.writes = int(np.count_nonzero(kinds == WRITE))
+    stats.reads = len(trace) - stats.writes
+    stats.read_line_accesses = int(np.count_nonzero(~stream.store))
+    stats.write_line_accesses = int(np.count_nonzero(stream.store))
+    stats.fetches = (
+        stats.fetches_for_reads
+        + stats.fetches_for_partial_reads
+        + stats.fetches_for_writes
+    )
+    stats.fetch_bytes = stats.fetches * config.line_size
+    return stats
+
+
+class _SegmentStream:
+    """The whole trace as per-line segments, grouped by set.
+
+    All arrays are in *grouped order*: a stable sort by set index, so each
+    set's segments are contiguous and keep their program order.  Segment
+    ``i``'s predecessor within its set (when ``first_in_set[i]`` is
+    False) is simply segment ``i - 1``.
+    """
+
+    __slots__ = (
+        "set_index",
+        "tag",
+        "store",
+        "mask",
+        "size",
+        "offset",
+        "first_in_set",
+        "last_in_set",
+        "position",
+    )
+
+    def __init__(self, trace: Trace, config: CacheConfig) -> None:
+        line_size = config.line_size
+        addresses = trace.address_array
+        sizes = trace.size_array.astype(np.int64)
+        stores = trace.kind_array == WRITE
+
+        # References are size-aligned, so a segment crosses a line only
+        # when the reference is wider than the line (8 B data, 4 B lines):
+        # split those into line-sized pieces, vectorised.
+        wide = sizes > line_size
+        if wide.any():
+            repeats = np.where(wide, sizes // line_size, 1)
+            seg_address = np.repeat(addresses, repeats)
+            group_starts = np.concatenate(([0], np.cumsum(repeats)[:-1]))
+            within = np.arange(len(seg_address), dtype=np.int64) - np.repeat(
+                group_starts, repeats
+            )
+            seg_address = seg_address + within * line_size
+            seg_size = np.where(np.repeat(wide, repeats), line_size, np.repeat(sizes, repeats))
+            seg_store = np.repeat(stores, repeats)
+        else:
+            seg_address = addresses
+            seg_size = sizes
+            seg_store = stores
+
+        offset = seg_address & config.offset_mask
+        set_index = (seg_address >> config.offset_bits) & config.index_mask
+        tag = seg_address >> (config.offset_bits + config.index_bits)
+
+        order = np.argsort(set_index, kind="stable")
+        self.set_index = set_index[order]
+        self.tag = tag[order]
+        self.store = seg_store[order]
+        self.size = seg_size[order]
+        self.offset = offset[order]
+        self.mask = _SIZE_MASKS[self.size] << self.offset.astype(np.uint64)
+        count = len(order)
+        boundary = self.set_index[1:] != self.set_index[:-1]
+        self.first_in_set = np.concatenate(([True], boundary))
+        self.last_in_set = np.concatenate((boundary, [True]))
+        self.position = np.arange(count, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.tag)
+
+    def set_start(self) -> np.ndarray:
+        """Index of the first segment of each segment's set group."""
+        return np.maximum.accumulate(np.where(self.first_in_set, self.position, 0))
+
+
+def _shifted(values: np.ndarray, fill) -> np.ndarray:
+    """``values`` shifted one place later; ``fill`` in front."""
+    out = np.empty_like(values)
+    out[0] = fill
+    out[1:] = values[:-1]
+    return out
+
+
+def _segmented_or_scan(values: np.ndarray, segment_ids: np.ndarray) -> np.ndarray:
+    """Inclusive bitwise-OR prefix scan, restarting at segment boundaries.
+
+    Hillis-Steele doubling: ``log2(n)`` whole-array passes; segments must
+    be contiguous runs of equal ``segment_ids``.
+    """
+    out = values.copy()
+    count = len(out)
+    shift = 1
+    while shift < count:
+        same = segment_ids[shift:] == segment_ids[:-shift]
+        np.copyto(out[shift:], out[:-shift] | out[shift:], where=same)
+        shift <<= 1
+    return out
+
+
+def _counts_since_segment_start(
+    flags: np.ndarray, segment_start: np.ndarray, position: np.ndarray, inclusive: bool
+) -> np.ndarray:
+    """How many ``flags`` are set within each element's segment so far.
+
+    ``segment_start`` marks the first element of each contiguous segment;
+    the count covers ``[segment start, i)``, or ``[segment start, i]``
+    with ``inclusive``.  A plain cumulative sum re-based at segment
+    starts — O(n), no doubling passes.
+    """
+    exclusive = np.cumsum(flags) - flags
+    start_index = np.maximum.accumulate(np.where(segment_start, position, 0))
+    counts = exclusive - exclusive[start_index]
+    return counts + flags if inclusive else counts
+
+
+def _count_dirty_victims(
+    victim_masks: np.ndarray, line_size: int, subblock_writeback: bool
+) -> Tuple[int, int, int]:
+    """(dirty victims, dirty bytes, transferred bytes) over victim masks."""
+    dirty = victim_masks[victim_masks != 0]
+    dirty_count = len(dirty)
+    dirty_bytes = int(np.bitwise_count(dirty).sum(dtype=np.int64))
+    transferred = dirty_bytes if subblock_writeback else dirty_count * line_size
+    return dirty_count, dirty_bytes, transferred
+
+
+# ---------------------------------------------------------------------------
+# Allocating policies: fetch-on-write and write-validate.
+#
+# Every segment — load or store, hit or miss — leaves its own tag
+# resident, so maximal same-(set, tag) runs in grouped order are exactly
+# the lifetimes of cache lines, and every run start is a miss (a victim
+# when the set was already occupied).
+# ---------------------------------------------------------------------------
+
+
+def _classify_allocating(
+    stream: _SegmentStream, config: CacheConfig, flush: bool, stats: CacheStats
+) -> None:
+    validate = config.write_miss is WriteMissPolicy.WRITE_VALIDATE
+    write_back = config.is_write_back
+    store = stream.store
+    load = ~store
+
+    tag_hit = ~stream.first_in_set & (stream.tag == _shifted(stream.tag, -1))
+    run_start = ~tag_hit
+    run_id = np.cumsum(run_start)
+
+    if validate:
+        granule_mask = config.valid_granularity - 1
+        eligible = (
+            store
+            & ((stream.offset & granule_mask) == 0)
+            & ((stream.size & granule_mask) == 0)
+        )
+    else:
+        eligible = np.zeros(len(stream), dtype=bool)
+
+    load_tag_hits = int(np.count_nonzero(load & tag_hit))
+    stats.read_misses = int(np.count_nonzero(load & run_start))
+    stats.fetches_for_reads = stats.read_misses
+    stats.write_hits = int(np.count_nonzero(store & tag_hit))
+    stats.write_misses = int(np.count_nonzero(store & run_start))
+    stats.validate_allocations = int(np.count_nonzero(eligible & run_start))
+    stats.fetches_for_writes = stats.write_misses - stats.validate_allocations
+
+    # Dirty-byte masks accumulate by OR over each run's stores, so the
+    # mask a victim (or a flushed line) carries is its whole run's
+    # store-mask OR — one reduceat over run boundaries, no prefix scan.
+    # Whether a store hit lands on an already-dirty line needs only
+    # *existence* of an earlier store in the run, a cumulative count.
+    victim_at = run_start & ~stream.first_in_set
+    stats.victims = int(np.count_nonzero(victim_at))
+    if write_back:
+        run_dirty = np.bitwise_or.reduceat(
+            np.where(store, stream.mask, np.uint64(0)), np.flatnonzero(run_start)
+        )
+        stores_before = _counts_since_segment_start(
+            store, run_start, stream.position, inclusive=False
+        )
+        stats.writes_to_dirty_lines = int(
+            np.count_nonzero(store & tag_hit & (stores_before > 0))
+        )
+        # A victim's run is the one *preceding* the run its eviction
+        # starts; run ids are 1-based, so that is run_dirty[run_id - 2].
+        dirty_count, dirty_bytes, transferred = _count_dirty_victims(
+            run_dirty[run_id[victim_at] - 2],
+            config.line_size,
+            config.subblock_dirty_writeback,
+        )
+        stats.dirty_victims = dirty_count
+        stats.dirty_victim_dirty_bytes = dirty_bytes
+        stats.writebacks = dirty_count
+        stats.writeback_dirty_bytes = dirty_bytes
+        stats.writeback_bytes = transferred
+    else:
+        stats.write_throughs = int(np.count_nonzero(store))
+        stats.write_through_bytes = int(stream.size[store].sum(dtype=np.int64))
+
+    if validate:
+        # Valid-byte masks: a run starts fully valid (load fetch, or the
+        # ineligible-store fetch fallback) or with just the written bytes
+        # (a validate allocation); stores OR their bytes in afterwards.
+        # A load needing bytes outside the scanned mask is a partial
+        # miss; its refill makes the line fully valid, so only the first
+        # such load per run is a real partial — later "candidates" hit.
+        full = np.uint64(config.full_line_mask)
+        contribution = np.where(
+            run_start,
+            np.where(eligible, stream.mask, full),
+            np.where(store, stream.mask, np.uint64(0)),
+        )
+        valid_scan = _segmented_or_scan(contribution, run_id)
+        valid_before = np.where(run_start, np.uint64(0), _shifted(valid_scan, np.uint64(0)))
+        candidate = load & tag_hit & ((valid_before & stream.mask) != stream.mask)
+        stats.read_partial_misses = len(np.unique(run_id[candidate]))
+        stats.fetches_for_partial_reads = stats.read_partial_misses
+    stats.read_hits = load_tag_hits - stats.read_partial_misses
+
+    if flush:
+        stats.flushed_lines = int(np.count_nonzero(stream.last_in_set))
+        if write_back:
+            final_dirty = run_dirty[run_id[stream.last_in_set] - 1]
+            dirty_count, dirty_bytes, transferred = _count_dirty_victims(
+                final_dirty, config.line_size, config.subblock_dirty_writeback
+            )
+            stats.flushed_dirty_lines = dirty_count
+            stats.flushed_dirty_bytes = dirty_bytes
+            stats.flush_writeback_bytes = transferred
+
+
+# ---------------------------------------------------------------------------
+# No-allocate policies: write-around and write-invalidate (write-through
+# only).  Loads are the only installing events, so the resident line is
+# keyed on the last preceding load of the set — a running maximum over
+# load positions.
+# ---------------------------------------------------------------------------
+
+
+def _lead_load(stream: _SegmentStream) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(lead, has_lead, set_start): index of the most recent load at or
+    before each segment within its set (``lead[i] <= i``; for a load,
+    itself).  The running maximum runs over the whole grouped array;
+    values leaking from an earlier set group are below ``set_start`` and
+    masked off by ``has_lead``."""
+    set_start = stream.set_start()
+    lead = np.maximum.accumulate(np.where(~stream.store, stream.position, -1))
+    has_lead = lead >= set_start
+    return lead, has_lead, set_start
+
+
+def _classify_write_around(
+    stream: _SegmentStream, config: CacheConfig, flush: bool, stats: CacheStats
+) -> None:
+    store = stream.store
+    load = ~store
+    lead, has_lead, set_start = _lead_load(stream)
+    lead_tag = stream.tag[np.maximum(lead, 0)]
+
+    # A store hits iff the frame holds the line the last load installed.
+    store_hit = store & has_lead & (lead_tag == stream.tag)
+    stats.write_hits = int(np.count_nonzero(store_hit))
+    stats.write_misses = int(np.count_nonzero(store)) - stats.write_hits
+    stats.write_throughs = int(np.count_nonzero(store))
+    stats.write_through_bytes = int(stream.size[store].sum(dtype=np.int64))
+
+    # A load sees the line installed by the previous load (element i-1's
+    # lead); stores in between never disturbed it.
+    lead_prev = _shifted(lead, -1)
+    resident_prev = ~stream.first_in_set & (lead_prev >= set_start)
+    load_hit = load & resident_prev & (stream.tag[np.maximum(lead_prev, 0)] == stream.tag)
+    stats.read_hits = int(np.count_nonzero(load_hit))
+    stats.read_misses = int(np.count_nonzero(load)) - stats.read_hits
+    stats.fetches_for_reads = stats.read_misses
+    stats.victims = int(np.count_nonzero(load & resident_prev & ~load_hit))
+
+    if flush:
+        stats.flushed_lines = len(np.unique(stream.set_index[load]))
+
+
+def _classify_write_invalidate(
+    stream: _SegmentStream, config: CacheConfig, flush: bool, stats: CacheStats
+) -> None:
+    store = stream.store
+    load = ~store
+    lead, has_lead, set_start = _lead_load(stream)
+    lead_tag = stream.tag[np.maximum(lead, 0)]
+
+    # Segments sharing a lead load form a group over which the resident
+    # line is that load's tag — until the first store to a *different*
+    # tag invalidates the frame (the concurrent data write corrupted it).
+    # Segments before a set's first load get a per-set sentinel group in
+    # which nothing is ever resident.  "Has the frame been invalidated
+    # yet" is just a count of mismatching stores so far in the group.
+    group = np.where(has_lead, lead, -1 - stream.set_index)
+    group_start = np.concatenate(([True], group[1:] != group[:-1]))
+    mismatch = store & has_lead & (stream.tag != lead_tag)
+    mismatches_so_far = _counts_since_segment_start(
+        mismatch, group_start, stream.position, inclusive=True
+    )
+
+    # A store hits while its tag is still resident: same tag as the lead
+    # load and no invalidating store earlier in the group.
+    store_hit = store & has_lead & (stream.tag == lead_tag) & (mismatches_so_far == 0)
+    stats.write_hits = int(np.count_nonzero(store_hit))
+    stats.write_misses = int(np.count_nonzero(store)) - stats.write_hits
+    stats.write_throughs = int(np.count_nonzero(store))
+    stats.write_through_bytes = int(stream.size[store].sum(dtype=np.int64))
+    # One invalidation per group that mismatches at all — i.e. per first
+    # mismatch, the one whose inclusive count is exactly 1.
+    stats.invalidations = int(np.count_nonzero(mismatch & (mismatches_so_far == 1)))
+
+    # A load consults the state as of element i-1: the previous load's
+    # line survives iff its group saw no mismatching store.
+    lead_prev = _shifted(lead, -1)
+    resident_prev = (
+        ~stream.first_in_set
+        & (lead_prev >= set_start)
+        & (_shifted(mismatches_so_far, 0) == 0)
+    )
+    load_hit = load & resident_prev & (stream.tag[np.maximum(lead_prev, 0)] == stream.tag)
+    stats.read_hits = int(np.count_nonzero(load_hit))
+    stats.read_misses = int(np.count_nonzero(load)) - stats.read_hits
+    stats.fetches_for_reads = stats.read_misses
+    stats.victims = int(np.count_nonzero(load & resident_prev & ~load_hit))
+
+    if flush:
+        final_valid = has_lead[stream.last_in_set] & (
+            mismatches_so_far[stream.last_in_set] == 0
+        )
+        stats.flushed_lines = int(np.count_nonzero(final_valid))

@@ -11,9 +11,12 @@ are persisted as they stream back, and every resolution emits a
 :class:`RunEvent` through a pluggable callback (see
 :func:`verbose_reporter` for the ``--verbose`` CLI hook).
 
-Workers recompute from the deterministic workload generators, so parallel
-results are bit-identical to serial execution — the test suite enforces
-this.
+Traces travel to workers as zero-copy shared-memory pages
+(:mod:`repro.exec.shm`): the parent builds each distinct trace once and
+workers map the page instead of re-running the workload generator.  When
+shared memory is unavailable, workers fall back to regenerating from the
+deterministic generators — either way parallel results are bit-identical
+to serial execution, which the test suite enforces.
 """
 
 import os
@@ -97,6 +100,26 @@ def _execute(key: RunKey) -> Tuple[CacheStats, float]:
     return stats, time.perf_counter() - started
 
 
+def _execute_shared(key: RunKey, handle) -> Tuple[CacheStats, float]:
+    """Simulate one run against a trace shipped in shared memory.
+
+    Falls back to regenerating the trace if the page cannot be mapped
+    (e.g. the platform lacks POSIX shared memory) — the results are
+    bit-identical either way, only slower.
+    """
+    from repro.cache.fastsim import simulate_trace
+    from repro.exec.shm import attach_trace
+    from repro.trace.corpus import load
+
+    try:
+        trace = attach_trace(handle)
+    except (OSError, ValueError):
+        trace = load(key.workload, scale=key.scale, seed=key.seed)
+    started = time.perf_counter()
+    stats = simulate_trace(trace, key.config, flush=True)
+    return stats, time.perf_counter() - started
+
+
 def verbose_reporter(stream=None) -> Callable[[RunEvent], None]:
     """A callback printing one progress line per resolved run."""
 
@@ -129,6 +152,29 @@ class ExperimentPool:
     def _emit(self, kind, key, seconds, completed, total) -> None:
         if self.callback is not None:
             self.callback(RunEvent(kind, key, seconds, completed, total))
+
+    @staticmethod
+    def _export_traces(pending):
+        """Build each distinct pending trace once and publish it in shared
+        memory; ``{}`` (falling back to in-worker regeneration) if the
+        platform refuses shared memory."""
+        from repro.exec.shm import export_trace
+        from repro.trace.corpus import load
+
+        exported = {}
+        try:
+            for key in pending:
+                identity = (key.workload, key.scale, key.seed)
+                if identity not in exported:
+                    exported[identity] = export_trace(
+                        load(key.workload, scale=key.scale, seed=key.seed)
+                    )
+        except OSError:
+            for shared in exported.values():
+                shared.close()
+                shared.unlink()
+            return {}
+        return exported
 
     def run_many(
         self,
@@ -190,11 +236,28 @@ class ExperimentPool:
                     resolve(key, stats, seconds)
             else:
                 workers = min(self.jobs, len(pending))
-                with ProcessPoolExecutor(max_workers=workers) as executor:
-                    futures = {executor.submit(_execute, key): key for key in pending}
-                    for future in as_completed(futures):
-                        stats, seconds = future.result()
-                        resolve(futures[future], stats, seconds)
+                exported = self._export_traces(pending)
+                try:
+                    with ProcessPoolExecutor(max_workers=workers) as executor:
+                        futures = {}
+                        for key in pending:
+                            shared = exported.get((key.workload, key.scale, key.seed))
+                            if shared is not None:
+                                future = executor.submit(
+                                    _execute_shared, key, shared.handle
+                                )
+                            else:
+                                future = executor.submit(_execute, key)
+                            futures[future] = key
+                        for future in as_completed(futures):
+                            stats, seconds = future.result()
+                            resolve(futures[future], stats, seconds)
+                finally:
+                    # Workers have exited (executor shutdown above), so the
+                    # pages have no consumers left and can be destroyed.
+                    for shared in exported.values():
+                        shared.close()
+                        shared.unlink()
 
         telemetry.wall_seconds = time.perf_counter() - started
         return {key: results[key] for key in unique}

@@ -1,0 +1,126 @@
+"""Zero-copy trace shipping between pool processes via shared memory.
+
+Worker processes used to rebuild every trace from its workload generator
+— deterministic, but the generators cost far more than the vectorised
+simulation they feed.  Instead the parent builds (or loads) each distinct
+trace once, publishes its four component arrays into one
+:class:`multiprocessing.shared_memory.SharedMemory` page, and ships
+workers a tiny picklable :class:`SharedTraceHandle`.  Workers map the
+page and wrap numpy views over it — no copy, no regeneration — and
+memoize the attachment per process, so a worker simulating forty
+configurations of one trace maps it once.
+
+Page layout (``ARRAY_DTYPES`` order, descending alignment, so every
+array sits naturally aligned)::
+
+    int64 addresses[n] | int32 sizes[n] | int32 icounts[n] | int8 kinds[n]
+
+Lifetime: the parent owns the page and unlinks it when done
+(:meth:`SharedTrace.unlink`); workers only map.  Python's
+``resource_tracker`` would normally tear pages down when the *first*
+attaching worker exits — attachments are explicitly unregistered to keep
+ownership with the parent (the 3.13 ``track=False`` parameter, done by
+hand for 3.11).
+"""
+
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.trace.trace import ARRAY_DTYPES, Trace
+
+#: Bytes per reference in a shared page (8 + 4 + 4 + 1).
+BYTES_PER_REF = sum(np.dtype(dtype).itemsize for _, dtype in ARRAY_DTYPES)
+
+
+@dataclass(frozen=True)
+class SharedTraceHandle:
+    """Picklable descriptor of a trace published in shared memory."""
+
+    shm_name: str
+    length: int
+    trace_name: str
+
+
+class SharedTrace:
+    """Parent-side owner of one published trace page."""
+
+    def __init__(self, trace: Trace) -> None:
+        length = len(trace)
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=max(1, length * BYTES_PER_REF)
+        )
+        # Copy the component arrays into the page in layout order.
+        offset = 0
+        for array in _component_arrays(trace):
+            view = np.ndarray(length, dtype=array.dtype, buffer=self._shm.buf, offset=offset)
+            view[:] = array
+            offset += array.nbytes
+        self.handle = SharedTraceHandle(self._shm.name, length, trace.name)
+
+    def close(self) -> None:
+        """Drop the parent's mapping (the page itself survives)."""
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the page; call after every consumer is done."""
+        self._shm.unlink()
+
+
+def _component_arrays(trace: Trace) -> Tuple[np.ndarray, ...]:
+    """The trace's canonical arrays in page layout order."""
+    return (
+        trace.address_array,
+        trace.size_array,
+        trace.icount_array,
+        trace.kind_array,
+    )
+
+
+def export_trace(trace: Trace) -> SharedTrace:
+    """Publish ``trace`` into a fresh shared-memory page."""
+    return SharedTrace(trace)
+
+
+#: Per-process memo of attached pages: shm name -> (mapping, trace).  The
+#: mapping object must stay referenced as long as the trace's arrays do —
+#: dropping it would free the buffer under the numpy views.
+_attached: Dict[str, Tuple[shared_memory.SharedMemory, Trace]] = {}
+
+
+def attach_trace(handle: SharedTraceHandle) -> Trace:
+    """Map a published trace (memoized per process, zero-copy)."""
+    cached = _attached.get(handle.shm_name)
+    if cached is not None:
+        return cached[1]
+    # Attaching would register the page with the resource tracker, which
+    # tears tracked pages down when the first registrant exits — but the
+    # parent owns this page.  Suppress the registration (what Python
+    # 3.13's track=False does); unregister-after-the-fact is not enough,
+    # because forked workers share one tracker and the second worker's
+    # unregister of an already-removed name spews tracker tracebacks.
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        mapping = shared_memory.SharedMemory(name=handle.shm_name)
+    finally:
+        resource_tracker.register = original_register
+    length = handle.length
+    offset = 0
+    components = {}
+    for attribute, dtype in ARRAY_DTYPES:
+        array = np.ndarray(length, dtype=dtype, buffer=mapping.buf, offset=offset)
+        array.flags.writeable = False
+        components[attribute] = array
+        offset += array.nbytes
+    trace = Trace.from_arrays(
+        components["addresses"],
+        components["sizes"],
+        components["kinds"],
+        components["icounts"],
+        name=handle.trace_name,
+    )
+    _attached[handle.shm_name] = (mapping, trace)
+    return trace

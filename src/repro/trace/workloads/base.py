@@ -12,6 +12,8 @@ import zlib
 from abc import ABC, abstractmethod
 from typing import List
 
+import numpy as np
+
 from repro.common.bitops import align_down
 from repro.common.errors import ConfigurationError
 from repro.trace.events import READ, WRITE
@@ -56,6 +58,48 @@ class RefBuilder:
         self.kinds.append(kind)
         self.icounts.append(max(1, icount))
 
+    def _emit_icounts(self, count: int) -> List[int]:
+        """Charge ``count`` references, returning their icounts.
+
+        This is the *exact* scalar recurrence of :meth:`_emit`, kept
+        sequential on purpose: the fractional accumulator rounds once per
+        step, so a closed-form vectorisation (``floor(f0 + k*ipr)``) can
+        differ in the last ulp and change traces bit-for-bit — which
+        would silently invalidate every content-addressed stored result.
+        When the ratio is integral the recurrence collapses to a constant
+        and the loop is skipped entirely.
+        """
+        ipr = self.instructions_per_ref
+        fraction = self._fraction
+        if fraction == 0.0 and ipr == int(ipr):
+            return [int(ipr)] * count
+        icounts = []
+        append = icounts.append
+        for _ in range(count):
+            total = fraction + ipr
+            icount = int(total)
+            fraction = total - icount
+            append(icount if icount > 1 else 1)
+        self._fraction = fraction
+        return icounts
+
+    def _emit_block(self, addresses: np.ndarray, size: int, kind: int) -> None:
+        """Append a block of same-size, same-kind references at once.
+
+        ``addresses`` is an ``int64`` array of unaligned addresses; the
+        size-alignment of :meth:`_emit` is applied vectorised.  The
+        public accumulator lists stay plain Python lists (the builder's
+        documented representation), extended at C speed.
+        """
+        count = len(addresses)
+        if count == 0:
+            return
+        aligned = addresses & ~np.int64(size - 1)
+        self.addresses.extend(aligned.tolist())
+        self.sizes.extend([size] * count)
+        self.kinds.extend([kind] * count)
+        self.icounts.extend(self._emit_icounts(count))
+
     # -- primitive accesses -------------------------------------------------
 
     def read(self, address: int, size: int = WORD) -> None:
@@ -77,24 +121,38 @@ class RefBuilder:
         """Sequential loads of ``count`` elements starting at ``base``.
 
         ``stride`` defaults to ``size`` (dense unit-stride access).
+        Emitted as one vectorised block.
         """
         step = stride or size
-        for index in range(count):
-            self._emit(base + index * step, size, READ)
+        self._emit_block(self._strided(base, count, step), size, READ)
 
     def seq_write(self, base: int, count: int, size: int = WORD, stride: int = 0) -> None:
-        """Sequential stores of ``count`` elements starting at ``base``."""
+        """Sequential stores of ``count`` elements starting at ``base``.
+
+        Emitted as one vectorised block.
+        """
         step = stride or size
-        for index in range(count):
-            self._emit(base + index * step, size, WRITE)
+        self._emit_block(self._strided(base, count, step), size, WRITE)
 
     def seq_rmw(self, base: int, count: int, size: int = WORD, stride: int = 0) -> None:
-        """Sequential read-modify-writes (the saxpy/daxpy destination idiom)."""
+        """Sequential read-modify-writes (the saxpy/daxpy destination idiom).
+
+        Emitted as one vectorised block: addresses repeat pairwise and the
+        kinds alternate read/write, exactly as the scalar loop produced.
+        """
         step = stride or size
-        for index in range(count):
-            address = base + index * step
-            self._emit(address, size, READ)
-            self._emit(address, size, WRITE)
+        if count == 0:
+            return
+        aligned = (self._strided(base, count, step) & ~np.int64(size - 1)).repeat(2)
+        self.addresses.extend(aligned.tolist())
+        self.sizes.extend([size] * (2 * count))
+        self.kinds.extend([READ, WRITE] * count)
+        self.icounts.extend(self._emit_icounts(2 * count))
+
+    @staticmethod
+    def _strided(base: int, count: int, step: int) -> np.ndarray:
+        """The address sequence ``base + k*step`` as an ``int64`` array."""
+        return np.int64(base) + np.arange(count, dtype=np.int64) * np.int64(step)
 
     def frame_enter(self, stack_top: int, saved_words: int) -> int:
         """Model a procedure call: push ``saved_words`` words, return new top.

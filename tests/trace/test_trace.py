@@ -68,6 +68,28 @@ class TestTransforms:
         writes = tiny_trace.writes_only()
         assert writes.addresses == [0x1004, 0x1008, 0x1000]
 
+    def test_writes_only_trailing_loads_fold_backwards(self):
+        # Loads after the last store must fold their icounts into that
+        # store, not vanish: instruction totals are conserved.
+        trace = build(
+            [
+                MemRef(0x0, 4, WRITE, icount=2),
+                MemRef(0x4, 4, READ, icount=3),
+                MemRef(0x8, 4, WRITE, icount=1),
+                MemRef(0xC, 4, READ, icount=5),
+                MemRef(0x10, 4, READ, icount=7),
+            ]
+        )
+        writes = trace.writes_only()
+        assert writes.icounts == [2, 3 + 1 + 5 + 7]
+        assert writes.instruction_count == trace.instruction_count
+
+    def test_writes_only_no_stores_is_empty(self):
+        trace = build([MemRef(0x0, 4, READ, icount=4)])
+        writes = trace.writes_only()
+        assert len(writes) == 0
+        assert writes.instruction_count == 0
+
     def test_concat(self, tiny_trace):
         double = tiny_trace.concat(tiny_trace)
         assert len(double) == 2 * len(tiny_trace)
@@ -97,3 +119,48 @@ class TestFootprint:
 
     def test_empty_span(self):
         assert build([]).address_span() == 0
+
+    def test_span_counts_wide_reference_below_the_top(self):
+        # The widest reference is not the highest one: the span must end
+        # one past the highest touched *byte*, not max(addr) + max(size).
+        trace = build([MemRef(0x100, 8, READ), MemRef(0x200, 4, READ)])
+        assert trace.address_span() == 0x200 + 4 - 0x100
+
+    def test_span_extends_past_highest_address(self):
+        # An 8 B access at the top address reaches past a later 4 B one.
+        trace = build([MemRef(0x208, 8, READ), MemRef(0x200, 4, READ)])
+        assert trace.address_span() == 0x208 + 8 - 0x200
+
+
+class TestArrayViews:
+    def test_array_properties_match_lists(self, tiny_trace):
+        assert tiny_trace.address_array.tolist() == tiny_trace.addresses
+        assert tiny_trace.size_array.tolist() == tiny_trace.sizes
+        assert tiny_trace.kind_array.tolist() == tiny_trace.kinds
+        assert tiny_trace.icount_array.tolist() == tiny_trace.icounts
+
+    def test_arrays_are_read_only(self, tiny_trace):
+        for array in (
+            tiny_trace.address_array,
+            tiny_trace.size_array,
+            tiny_trace.kind_array,
+            tiny_trace.icount_array,
+        ):
+            with pytest.raises(ValueError):
+                array[0] = 0
+
+    def test_from_arrays_zero_copy(self):
+        addresses = np.array([0, 8], dtype=np.int64)
+        trace = Trace.from_arrays(
+            addresses,
+            np.array([4, 4], dtype=np.int32),
+            np.array([READ, WRITE], dtype=np.int8),
+            np.array([1, 2], dtype=np.int32),
+            name="arr",
+        )
+        assert trace.address_array is addresses
+        assert trace.addresses == [0, 8]
+
+    def test_non_integer_components_rejected(self):
+        with pytest.raises(SimulationError):
+            Trace(["x"], [4], [0], [1])
