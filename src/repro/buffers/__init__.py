@@ -10,9 +10,22 @@
   cache's counterpart buffer (Table 3).
 """
 
-from repro.buffers.write_buffer import CoalescingWriteBuffer, WriteBufferStats
-from repro.buffers.write_cache import WriteCache, WriteCacheBackend, WriteCacheStats
-from repro.buffers.victim_buffer import DirtyVictimBuffer, VictimBufferStats
+from repro.buffers.write_buffer import (
+    CoalescingWriteBuffer,
+    WriteBufferConfig,
+    WriteBufferStats,
+)
+from repro.buffers.write_cache import (
+    WriteCache,
+    WriteCacheBackend,
+    WriteCacheConfig,
+    WriteCacheStats,
+)
+from repro.buffers.victim_buffer import (
+    DirtyVictimBuffer,
+    VictimBufferConfig,
+    VictimBufferStats,
+)
 from repro.buffers.victim_cache import (
     VictimCache,
     VictimCacheBackend,
@@ -22,11 +35,14 @@ from repro.buffers.victim_cache import (
 
 __all__ = [
     "CoalescingWriteBuffer",
+    "WriteBufferConfig",
     "WriteBufferStats",
     "WriteCache",
     "WriteCacheBackend",
+    "WriteCacheConfig",
     "WriteCacheStats",
     "DirtyVictimBuffer",
+    "VictimBufferConfig",
     "VictimBufferStats",
     "VictimCache",
     "VictimCacheBackend",

@@ -11,19 +11,53 @@ buffer is still draining.
 """
 
 from collections import deque
-from dataclasses import dataclass
-from typing import Iterable, List, Tuple
+from dataclasses import dataclass, field
+from typing import ClassVar, Iterable, List, Tuple
 
 from repro.common.errors import ConfigurationError
+from repro.common.serde import CounterSerde
 from repro.cache.cache import Cache
 from repro.cache.config import CacheConfig
 from repro.trace.events import WRITE
 from repro.trace.trace import Trace
 
+#: Bump whenever the buffer model or victim-time extraction changes in a
+#: way that can alter statistics for an unchanged (trace, config) pair.
+VICTIM_BUFFER_ENGINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class VictimBufferConfig:
+    """A dirty-victim buffer behind one write-back cache configuration."""
+
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    entries: int = 1
+    retire_interval: int = 10
+
+    def cache_key(self) -> str:
+        """Stable canonical identity string (hashed by the result store)."""
+        return (
+            f"vb_entries={self.entries}:retire={self.retire_interval}:"
+            f"{self.cache.cache_key()}"
+        )
+
+    @property
+    def name(self) -> str:
+        """Short human-readable label for progress reporting."""
+        return f"VB{self.entries}/retire{self.retire_interval} behind {self.cache.name}"
+
+    def build(self) -> "DirtyVictimBuffer":
+        """Instantiate the buffer this config describes (validates here)."""
+        return DirtyVictimBuffer(
+            entries=self.entries, retire_interval=self.retire_interval
+        )
+
 
 @dataclass
-class VictimBufferStats:
+class VictimBufferStats(CounterSerde):
     """Outcome of one victim-buffer timing simulation."""
+
+    kind: ClassVar[str] = "victim_buffer"
 
     victims: int = 0  #: dirty victims presented
     stalls: int = 0  #: victims that found the buffer full

@@ -13,17 +13,20 @@ conflict misses into swaps instead of fetches.
 """
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import ClassVar, Dict, Optional, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.common.lru import LruTracker
+from repro.common.serde import CounterSerde
 from repro.cache.backend import Backend
 from repro.cache.cache import Cache
 
 
 @dataclass
-class VictimCacheStats:
+class VictimCacheStats(CounterSerde):
     """Counters for one victim-cache run."""
+
+    kind: ClassVar[str] = "victim_cache"
 
     inserts: int = 0  #: victims captured from the primary cache
     fetch_probes: int = 0  #: primary-cache misses that probed here

@@ -16,11 +16,18 @@ stall little.
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import ClassVar
 
 from repro.common.bitops import log2_int
 from repro.common.errors import ConfigurationError
+from repro.common.serde import CounterSerde
 from repro.trace.events import WRITE
 from repro.trace.trace import Trace
+
+#: Bump whenever a model change can alter the statistics produced for an
+#: unchanged (trace, config) pair; the result store folds the kind's
+#: engine version into every write-buffer content hash.
+WRITE_BUFFER_ENGINE_VERSION = 1
 
 
 #: How loads interact with buffered stores (Smith [13] design space):
@@ -34,9 +41,45 @@ from repro.trace.trace import Trace
 READ_POLICIES = ("ignore", "forward", "drain")
 
 
+@dataclass(frozen=True)
+class WriteBufferConfig:
+    """Immutable description of one coalescing write buffer experiment."""
+
+    entries: int = 8
+    entry_size: int = 16
+    retire_interval: int = 5
+    read_policy: str = "ignore"
+
+    def cache_key(self) -> str:
+        """Stable canonical identity string (hashed by the result store)."""
+        return (
+            f"wb_entries={self.entries}:entry_size={self.entry_size}:"
+            f"retire={self.retire_interval}:reads={self.read_policy}"
+        )
+
+    @property
+    def name(self) -> str:
+        """Short human-readable label for progress reporting."""
+        return (
+            f"WB{self.entries}x{self.entry_size}B/"
+            f"retire{self.retire_interval}/{self.read_policy}"
+        )
+
+    def build(self) -> "CoalescingWriteBuffer":
+        """Instantiate the buffer this config describes (validates here)."""
+        return CoalescingWriteBuffer(
+            entries=self.entries,
+            entry_size=self.entry_size,
+            retire_interval=self.retire_interval,
+            read_policy=self.read_policy,
+        )
+
+
 @dataclass
-class WriteBufferStats:
+class WriteBufferStats(CounterSerde):
     """Outcome of one write-buffer timing simulation."""
+
+    kind: ClassVar[str] = "write_buffer"
 
     writes: int = 0  #: stores presented to the buffer
     merged: int = 0  #: stores absorbed into an existing entry

@@ -14,19 +14,47 @@ be dirty" — enable ``victim_mode`` and feed it L1 victims / read probes.
 """
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import ClassVar, Optional
 
 from repro.common.bitops import log2_int
 from repro.common.errors import ConfigurationError
 from repro.common.lru import LruTracker
+from repro.common.serde import CounterSerde
 from repro.cache.backend import Backend
 from repro.trace.events import WRITE
 from repro.trace.trace import Trace
 
+#: Bump whenever a model change can alter write-cache statistics for an
+#: unchanged (trace, config) pair; invalidates stored write-cache results.
+WRITE_CACHE_ENGINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class WriteCacheConfig:
+    """Immutable description of one stand-alone write-cache experiment."""
+
+    entries: int = 5
+    line_size: int = 8
+
+    def cache_key(self) -> str:
+        """Stable canonical identity string (hashed by the result store)."""
+        return f"wc_entries={self.entries}:line={self.line_size}"
+
+    @property
+    def name(self) -> str:
+        """Short human-readable label for progress reporting."""
+        return f"WC{self.entries}x{self.line_size}B"
+
+    def build(self) -> "WriteCache":
+        """Instantiate the write cache this config describes."""
+        return WriteCache(entries=self.entries, line_size=self.line_size)
+
 
 @dataclass
-class WriteCacheStats:
+class WriteCacheStats(CounterSerde):
     """Counters for one write-cache run."""
+
+    kind: ClassVar[str] = "write_cache"
 
     writes: int = 0  #: stores presented
     merged: int = 0  #: stores absorbed by an existing (dirty) entry
@@ -127,8 +155,13 @@ class WriteCache:
         self._lru.clear()
         self._dirty.clear()
 
-    def run_writes(self, trace: Trace) -> WriteCacheStats:
-        """Feed every store of ``trace`` through the write cache and flush."""
+    def run_writes(self, trace: Trace, flush: bool = True) -> WriteCacheStats:
+        """Feed every store of ``trace`` through the write cache.
+
+        ``flush=True`` (the default) pushes the remaining dirty entries at
+        the end — flush-stop accounting; ``flush=False`` leaves them
+        resident (cold stop), so ``exit_writes`` counts evictions only.
+        """
         offset_mask = self._offset_mask
         entries = self.entries
         lru = self._lru
@@ -159,7 +192,8 @@ class WriteCache:
                 dirty.add(line_address)
         self.stats.writes += writes
         self.stats.merged += merged
-        self.flush()
+        if flush:
+            self.flush()
         return self.stats
 
     def _emit(self, line_address: int) -> None:

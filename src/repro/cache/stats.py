@@ -12,6 +12,7 @@ metric is available both ways, like Fig. 20's solid/dotted curve pairs.
 """
 
 from dataclasses import dataclass, field, fields
+from typing import ClassVar
 
 
 def _ratio(numerator: float, denominator: float) -> float:
@@ -24,6 +25,10 @@ def _ratio(numerator: float, denominator: float) -> float:
 @dataclass
 class CacheStats:
     """Raw event counters plus the paper's derived metrics."""
+
+    #: Stable experiment-kind tag (the Stats protocol; see
+    #: :mod:`repro.exec.experiments`).
+    kind: ClassVar[str] = "cache"
 
     # -- demand stream ------------------------------------------------------
     reads: int = 0  #: load references presented to the cache

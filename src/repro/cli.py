@@ -8,9 +8,11 @@ Subcommands:
   ``python -m repro.core.figures``).
 - ``claims`` — print the Section 3.3/6 headline claims, paper vs measured.
 - ``table1`` — print the corpus characteristics table.
-- ``sweep`` — run one of the paper's standard parameter sweeps for any
-  derived metric, optionally parallel (``--jobs``).
-- ``store`` — inspect or maintain the persistent result store.
+- ``sweep`` — run a parameter sweep for any experiment kind (``--kind
+  cache|system|write_cache|write_buffer|victim_buffer``) and any derived
+  metric of that kind's stats, optionally parallel (``--jobs``).
+- ``store`` — inspect or maintain the persistent result store (stats are
+  grouped by experiment kind).
 
 Commands that run experiments accept ``--jobs N`` to fan simulation out
 across N worker processes (0 = all cores); results are persisted in the
@@ -24,7 +26,6 @@ from dataclasses import fields
 from repro.cache.config import CacheConfig
 from repro.cache.fastsim import simulate_trace
 from repro.cache.policies import WriteHitPolicy, WriteMissPolicy
-from repro.cache.stats import CacheStats
 from repro.common.render import format_table
 from repro.trace.corpus import BENCHMARK_NAMES, load
 from repro.trace.io import read_din_trace, read_trace
@@ -32,12 +33,27 @@ from repro.trace.io import read_din_trace, read_trace
 _HIT_POLICIES = {policy.value: policy for policy in WriteHitPolicy}
 _MISS_POLICIES = {policy.value: policy for policy in WriteMissPolicy}
 
-#: Metrics the ``sweep`` subcommand can plot: every float-valued property.
-_SWEEP_METRICS = sorted(
-    name
-    for name in dir(CacheStats)
-    if isinstance(getattr(CacheStats, name), property) and not name.startswith("_")
-)
+#: Experiment kinds the ``sweep`` subcommand knows how to build an axis for.
+_SWEEP_KINDS = ("cache", "system", "write_cache", "write_buffer", "victim_buffer")
+
+#: Default metric per kind (each is a property of that kind's stats type).
+_DEFAULT_METRICS = {
+    "cache": "miss_ratio",
+    "system": "transactions_per_instruction",
+    "write_cache": "fraction_removed",
+    "write_buffer": "merge_fraction",
+    "victim_buffer": "stall_fraction",
+}
+
+
+def _metrics_for(stats_type) -> list:
+    """Property names of one stats type: the metrics a sweep can plot."""
+    return sorted(
+        name
+        for name in dir(stats_type)
+        if isinstance(getattr(stats_type, name), property)
+        and not name.startswith("_")
+    )
 
 
 def _add_jobs_flag(parser) -> None:
@@ -117,10 +133,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "sweep", help="run a standard parameter sweep for one metric"
     )
     sweep.add_argument(
-        "--axis", choices=("size", "line"), default="size",
-        help="sweep cache size (16B lines) or line size (8KB capacity)",
+        "--kind", choices=_SWEEP_KINDS, default="cache",
+        help="experiment kind to sweep (default: the bare L1 cache)",
     )
-    sweep.add_argument("--metric", choices=_SWEEP_METRICS, default="miss_ratio")
+    sweep.add_argument(
+        "--axis", choices=("size", "line"), default="size",
+        help="cache/system kinds: sweep cache size (16B lines) or line "
+        "size (8KB capacity); structure kinds sweep their own axis "
+        "(write_cache/victim_buffer: entries; write_buffer: retire "
+        "interval) and ignore this flag",
+    )
+    sweep.add_argument(
+        "--metric", default=None,
+        help="stats property to plot (validated against the kind's stats "
+        "type; default depends on --kind)",
+    )
     sweep.add_argument(
         "--write-hit", choices=sorted(_HIT_POLICIES), default="write-back"
     )
@@ -208,43 +235,110 @@ def _command_claims(args) -> int:
     return 0
 
 
-def _command_sweep(args) -> int:
-    from repro.common.render import format_series_table
-    from repro.core import runner
+def _sweep_axis(args):
+    """Build (x_label, x_values, configs, title_detail) for one sweep."""
+    from repro.buffers.victim_buffer import VictimBufferConfig
+    from repro.buffers.write_buffer import WriteBufferConfig
+    from repro.buffers.write_cache import WriteCacheConfig
+    from repro.core.figures.write_buffer_fig import RETIRE_INTERVALS
     from repro.core.sweep import (
         CACHE_SIZES_KB,
         LINE_SIZES_B,
         line_sweep_configs,
         size_sweep_configs,
-        sweep,
     )
+    from repro.hierarchy.system import SystemConfig
+
+    write_hit = _HIT_POLICIES[args.write_hit]
+    write_miss = _MISS_POLICIES[args.write_miss]
+    policy_detail = f"{args.write_hit}/{args.write_miss}"
+    if args.kind in ("cache", "system"):
+        if args.axis == "size":
+            cache_configs = size_sweep_configs(
+                write_hit=write_hit, write_miss=write_miss
+            )
+            x_label, x_values = "cache size (KB)", list(CACHE_SIZES_KB)
+        else:
+            cache_configs = line_sweep_configs(
+                write_hit=write_hit, write_miss=write_miss
+            )
+            x_label, x_values = "line size (B)", list(LINE_SIZES_B)
+        if args.kind == "system":
+            return (
+                x_label,
+                x_values,
+                [SystemConfig(cache=config) for config in cache_configs],
+                policy_detail,
+            )
+        return x_label, x_values, cache_configs, policy_detail
+    if args.kind == "write_cache":
+        entries = list(range(0, 17))
+        return (
+            "write-cache entries (8B)",
+            entries,
+            [WriteCacheConfig(entries=count) for count in entries],
+            "stand-alone write cache",
+        )
+    if args.kind == "write_buffer":
+        intervals = list(RETIRE_INTERVALS)
+        return (
+            "cycles per write retire",
+            intervals,
+            [WriteBufferConfig(retire_interval=interval) for interval in intervals],
+            "8-entry coalescing write buffer",
+        )
+    # victim_buffer: entry-count axis behind the default write-back cache.
+    entries = [1, 2, 3, 4]
+    return (
+        "victim-buffer entries",
+        entries,
+        [VictimBufferConfig(entries=count) for count in entries],
+        "dirty-victim buffer behind 8KB/16B write-back",
+    )
+
+
+def _command_sweep(args) -> int:
+    from repro.common.render import format_series_table
+    from repro.core import runner
+    from repro.core.sweep import sweep_experiments
+    from repro.exec.experiments import get_kind
     from repro.exec.pool import verbose_reporter
 
     _apply_jobs(args)
-    write_hit = _HIT_POLICIES[args.write_hit]
-    write_miss = _MISS_POLICIES[args.write_miss]
-    if args.axis == "size":
-        configs = size_sweep_configs(write_hit=write_hit, write_miss=write_miss)
-        x_label, x_values = "cache size (KB)", list(CACHE_SIZES_KB)
-    else:
-        configs = line_sweep_configs(write_hit=write_hit, write_miss=write_miss)
-        x_label, x_values = "line size (B)", list(LINE_SIZES_B)
+    kind = get_kind(args.kind)
+    metric_name = args.metric or _DEFAULT_METRICS[args.kind]
+    valid_metrics = _metrics_for(kind.stats_type)
+    if metric_name not in valid_metrics:
+        print(
+            f"unknown metric {metric_name!r} for kind {args.kind!r}; "
+            f"choose from: {', '.join(valid_metrics)}",
+            file=sys.stderr,
+        )
+        return 2
 
+    x_label, x_values, configs, detail = _sweep_axis(args)
     callback = verbose_reporter() if args.verbose else None
     telemetry = runner.prefetch(
-        runner.suite_keys(configs, BENCHMARK_NAMES, scale=args.scale),
+        [
+            runner.experiment_key(args.kind, name, config, scale=args.scale)
+            for config in configs
+            for name in BENCHMARK_NAMES
+        ],
         jobs=args.jobs,
         callback=callback,
     )
-    series = sweep(
-        configs, lambda stats: getattr(stats, args.metric), scale=args.scale
+    series = sweep_experiments(
+        args.kind,
+        configs,
+        lambda stats: getattr(stats, metric_name),
+        scale=args.scale,
     )
     print(
         format_series_table(
             x_label,
             x_values,
             series,
-            title=f"{args.metric} sweep ({args.write_hit}/{args.write_miss})",
+            title=f"{metric_name} sweep [{args.kind}] ({detail})",
         )
     )
     print(f"telemetry: {telemetry.line()}", file=sys.stderr)
@@ -261,7 +355,12 @@ def _command_store(args) -> int:
     store = ResultStore(root)
     if args.action == "stats":
         summary = store.stats()
+        by_kind = summary.pop("by_kind", {})
         rows = [[key, value] for key, value in summary.items()]
+        rows.extend(
+            [f"records[{kind_name}]", count]
+            for kind_name, count in by_kind.items()
+        )
         print(format_table(["field", "value"], rows, title="result store"))
     elif args.action == "clear":
         print(f"removed {store.clear()} records from {store.root}")

@@ -1,0 +1,38 @@
+"""Serialization shared by every experiment-stats dataclass.
+
+The result store persists statistics as JSON, so every stats class in the
+kind registry (:mod:`repro.exec.experiments`) must round-trip through
+plain dicts.  Flat counter dataclasses get that for free by mixing in
+:class:`CounterSerde`; composite stats (nested dataclasses) implement
+``to_dict``/``from_dict`` by hand but follow the same contract:
+
+- ``to_dict`` emits only JSON-safe values and never aliases mutable state
+  back into the object;
+- ``from_dict`` raises on *unknown* keys (a schema mismatch must read as
+  a corrupt record, never silently drop data) and falls back to field
+  defaults for *missing* keys (older records without newer counters still
+  load).
+"""
+
+from dataclasses import fields
+
+
+class CounterSerde:
+    """Mixin: flat-counter dataclass <-> plain dict (JSON-safe)."""
+
+    def to_dict(self) -> dict:
+        """Every dataclass field as a plain value (dicts shallow-copied)."""
+        payload = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            payload[spec.name] = dict(value) if isinstance(value, dict) else value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict):
+        """Inverse of :meth:`to_dict`; unknown keys raise, missing default."""
+        known = {spec.name for spec in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown {cls.__name__} fields: {sorted(unknown)}")
+        return cls(**payload)

@@ -44,6 +44,12 @@ def main(argv=None) -> int:
     for figure_id in requested:
         print(render(figure_id, scale=args.scale))
         print()
+
+    # One greppable summary across every pool batch the figures ran; CI
+    # asserts computed=0 on a warm store.
+    from repro.exec.pool import aggregate_telemetry
+
+    print(f"telemetry: {aggregate_telemetry().line()}", file=sys.stderr)
     return 0
 
 

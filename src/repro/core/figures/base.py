@@ -29,6 +29,11 @@ def prefetch_grid(
     prefetch(suite_keys(configs, workloads, scale=scale), jobs=jobs)
 
 
+def prefetch_specs(specs: Sequence, jobs: Optional[int] = None) -> None:
+    """Resolve an explicit (possibly mixed-kind) spec batch in one go."""
+    prefetch(specs, jobs=jobs)
+
+
 @dataclass
 class FigureResult:
     """One reproduced table or figure."""

@@ -8,20 +8,25 @@ Transactions per instruction, aggregated over the whole suite
   flush traffic included, as Section 5 prescribes for cold-stop-affected
   runs),
 - the write-miss and read-miss components alone (fetch-on-write).
+
+Each point is a pair of ``system``-kind experiments (write-back and
+write-through hierarchies over a metered memory), so a warm result store
+renders both figures without a single simulation.
 """
 
 from typing import Dict, List
 
 from repro.cache.config import CacheConfig
 from repro.cache.policies import WriteHitPolicy
-from repro.core.figures.base import FigureResult, prefetch_grid
-from repro.core.runner import run
+from repro.core.figures.base import FigureResult, prefetch_specs
+from repro.core.runner import experiment_key, run_experiment
 from repro.core.sweep import (
     CACHE_SIZES_KB,
     DEFAULT_CACHE_KB,
     DEFAULT_LINE_B,
     LINE_SIZES_B,
 )
+from repro.hierarchy.system import SystemConfig
 from repro.trace.corpus import BENCHMARK_NAMES
 
 
@@ -41,19 +46,30 @@ def _traffic_configs(size_kb: int, line_size: int):
     )
 
 
-def _traffic_components(size_kb: int, line_size: int, scale: float) -> Dict[str, float]:
+def _traffic_specs(size_kb: int, line_size: int, scale: float):
+    """The per-workload system-kind spec pairs behind one x value."""
     wb_config, wt_config = _traffic_configs(size_kb, line_size)
+    return [
+        (
+            experiment_key("system", name, SystemConfig(cache=wb_config), scale=scale),
+            experiment_key("system", name, SystemConfig(cache=wt_config), scale=scale),
+        )
+        for name in BENCHMARK_NAMES
+    ]
+
+
+def _traffic_components(size_kb: int, line_size: int, scale: float) -> Dict[str, float]:
     instructions = 0
     read_misses = write_misses = 0
     wb_transactions = wt_transactions = 0
-    for name in BENCHMARK_NAMES:
-        wb = run(name, wb_config, scale=scale)
-        wt = run(name, wt_config, scale=scale)
-        instructions += wb.instructions
-        read_misses += wb.fetches_for_reads
-        write_misses += wb.fetches_for_writes
-        wb_transactions += wb.fetches + wb.writebacks + wb.flushed_dirty_lines
-        wt_transactions += wt.fetches + wt.write_throughs
+    for wb_spec, wt_spec in _traffic_specs(size_kb, line_size, scale):
+        wb = run_experiment(wb_spec)
+        wt = run_experiment(wt_spec)
+        instructions += wb.l1.instructions
+        read_misses += wb.l1.fetches_for_reads
+        write_misses += wb.l1.fetches_for_writes
+        wb_transactions += wb.transactions
+        wt_transactions += wt.transactions
     return {
         "write-through": wt_transactions / instructions,
         "write-back": wb_transactions / instructions,
@@ -92,9 +108,13 @@ def _traffic_figure(
 
 def fig18(scale: float = 1.0) -> FigureResult:
     """Components of traffic vs cache size (16 B lines)."""
-    prefetch_grid(
-        [c for kb in CACHE_SIZES_KB for c in _traffic_configs(kb, DEFAULT_LINE_B)],
-        scale=scale,
+    prefetch_specs(
+        [
+            spec
+            for kb in CACHE_SIZES_KB
+            for pair in _traffic_specs(kb, DEFAULT_LINE_B, scale)
+            for spec in pair
+        ]
     )
     return _traffic_figure(
         "fig18",
@@ -108,9 +128,13 @@ def fig18(scale: float = 1.0) -> FigureResult:
 
 def fig19(scale: float = 1.0) -> FigureResult:
     """Components of traffic vs cache line size (8 KB caches)."""
-    prefetch_grid(
-        [c for line in LINE_SIZES_B for c in _traffic_configs(DEFAULT_CACHE_KB, line)],
-        scale=scale,
+    prefetch_specs(
+        [
+            spec
+            for line in LINE_SIZES_B
+            for pair in _traffic_specs(DEFAULT_CACHE_KB, line, scale)
+            for spec in pair
+        ]
     )
     return _traffic_figure(
         "fig19",

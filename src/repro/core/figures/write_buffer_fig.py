@@ -6,15 +6,21 @@ and the write-buffer-full stall CPI, averaged over the six benchmarks.
 The paper also plots the merge rate of a 6-entry write cache as a
 reference line, since the write cache achieves with recency what the
 write buffer can only achieve by being perpetually full.
+
+Both curves resolve through the experiment pool (``write_buffer`` and
+``write_cache`` kinds), so a warm result store renders this figure
+without a single simulation and a cold one computes all points in
+parallel under ``--jobs``.
 """
 
 from typing import Sequence
 
-from repro.buffers.write_buffer import CoalescingWriteBuffer
-from repro.buffers.write_cache import WriteCache
-from repro.core.figures.base import FigureResult
+from repro.buffers.write_buffer import WriteBufferConfig
+from repro.buffers.write_cache import WriteCacheConfig
+from repro.core.figures.base import FigureResult, prefetch_specs
 from repro.core.metrics import mean
-from repro.trace.corpus import BENCHMARK_NAMES, load
+from repro.core.runner import experiment_key, run_experiment
+from repro.trace.corpus import BENCHMARK_NAMES
 
 #: Fig. 5 x axis: cycles per write-buffer entry retirement.
 RETIRE_INTERVALS: Sequence[int] = (0, 2, 4, 8, 12, 16, 20, 24, 28, 32, 36, 38, 40, 44, 48)
@@ -27,18 +33,34 @@ def fig05(
     write_cache_entries: int = 6,
 ) -> FigureResult:
     """Coalescing write buffer merges vs CPI (Fig. 5)."""
+    buffer_specs = {
+        (name, interval): experiment_key(
+            "write_buffer",
+            name,
+            WriteBufferConfig(
+                entries=entries, entry_size=entry_size, retire_interval=interval
+            ),
+            scale=scale,
+        )
+        for name in BENCHMARK_NAMES
+        for interval in RETIRE_INTERVALS
+    }
+    reference_specs = {
+        name: experiment_key(
+            "write_cache", name, WriteCacheConfig(entries=write_cache_entries),
+            scale=scale,
+        )
+        for name in BENCHMARK_NAMES
+    }
+    prefetch_specs(list(buffer_specs.values()) + list(reference_specs.values()))
+
     merge_series = []
     cpi_series = []
-    traces = {name: load(name, scale=scale) for name in BENCHMARK_NAMES}
-
     for interval in RETIRE_INTERVALS:
         merges = []
         cpis = []
-        for trace in traces.values():
-            buffer = CoalescingWriteBuffer(
-                entries=entries, entry_size=entry_size, retire_interval=interval
-            )
-            stats = buffer.simulate(trace)
+        for name in BENCHMARK_NAMES:
+            stats = run_experiment(buffer_specs[name, interval])
             merges.append(100.0 * stats.merge_fraction)
             cpis.append(stats.stall_cpi)
         merge_series.append(mean(merges))
@@ -48,11 +70,8 @@ def fig05(
     # retirement rate.
     write_cache_merges = mean(
         [
-            100.0
-            * WriteCache(entries=write_cache_entries)
-            .run_writes(trace)
-            .fraction_removed
-            for trace in traces.values()
+            100.0 * run_experiment(reference_specs[name]).fraction_removed
+            for name in BENCHMARK_NAMES
         ]
     )
 

@@ -6,17 +6,22 @@
   cache removes (its writes-to-already-dirty fraction).
 - Fig. 9: relative reduction of 1/5/15-entry write caches as the
   comparison write-back cache grows from 1 KB to 64 KB.
+
+Both the write-cache runs (``write_cache`` experiment kind) and the
+comparison write-back runs (``cache`` kind) resolve through the
+experiment pool, so a warm result store renders these figures without a
+single simulation.
 """
 
 from typing import Dict, List, Sequence
 
-from repro.buffers.write_cache import WriteCache
+from repro.buffers.write_cache import WriteCacheConfig
 from repro.cache.config import CacheConfig
 from repro.cache.policies import WriteHitPolicy
-from repro.core.figures.base import FigureResult
+from repro.core.figures.base import FigureResult, prefetch_specs
 from repro.core.metrics import mean
-from repro.core.runner import run
-from repro.trace.corpus import BENCHMARK_NAMES, load
+from repro.core.runner import experiment_key, run, run_experiment, run_key
+from repro.trace.corpus import BENCHMARK_NAMES
 
 #: Fig. 7/8 x axis.
 ENTRY_COUNTS: Sequence[int] = tuple(range(0, 17))
@@ -28,14 +33,21 @@ HIGHLIGHT_ENTRIES: Sequence[int] = (1, 5, 15)
 
 def _write_cache_removal(scale: float, entry_counts: Sequence[int]) -> Dict[str, List[float]]:
     """Percentage of writes removed per workload per entry count."""
-    removal: Dict[str, List[float]] = {}
-    for name in BENCHMARK_NAMES:
-        trace = load(name, scale=scale)
-        removal[name] = [
-            100.0 * WriteCache(entries=entries).run_writes(trace).fraction_removed
+    specs = {
+        (name, entries): experiment_key(
+            "write_cache", name, WriteCacheConfig(entries=entries), scale=scale
+        )
+        for name in BENCHMARK_NAMES
+        for entries in entry_counts
+    }
+    prefetch_specs(list(specs.values()))
+    return {
+        name: [
+            100.0 * run_experiment(specs[name, entries]).fraction_removed
             for entries in entry_counts
         ]
-    return removal
+        for name in BENCHMARK_NAMES
+    }
 
 
 def _write_back_removal(scale: float, size_kb: int, line_size: int = 16) -> Dict[str, float]:
@@ -43,6 +55,7 @@ def _write_back_removal(scale: float, size_kb: int, line_size: int = 16) -> Dict
     config = CacheConfig(
         size=size_kb * 1024, line_size=line_size, write_hit=WriteHitPolicy.WRITE_BACK
     )
+    prefetch_specs([run_key(name, config, scale=scale) for name in BENCHMARK_NAMES])
     return {
         name: 100.0 * run(name, config, scale=scale).fraction_writes_to_dirty
         for name in BENCHMARK_NAMES

@@ -4,15 +4,19 @@ Every figure sweeps the same six traces over overlapping configuration
 grids (Fig. 13 and Fig. 14 share all their runs; Fig. 10 shares its
 fetch-on-write runs with both), so results resolve through three levels:
 
-1. a per-process memo keyed by :class:`~repro.exec.keys.RunKey`;
+1. a per-process memo keyed by :class:`~repro.exec.keys.ExperimentSpec`;
 2. the on-disk content-addressed :class:`~repro.exec.store.ResultStore`
    (``$REPRO_RESULT_DIR``, default ``~/.cache/repro/results``; set it to
    ``off`` to disable persistence), which makes repeated figure and
    benchmark regeneration near-instant across processes;
-3. computation via :func:`repro.cache.fastsim.simulate_trace`, which falls
-   back to the reference simulator for non-direct-mapped configurations.
+3. computation via the experiment kind's registered runner
+   (:mod:`repro.exec.experiments`) — :func:`repro.cache.fastsim.simulate_trace`
+   for the ``cache`` kind, the matching simulator family for the others.
 
-:func:`prefetch` resolves a whole batch at once, optionally fanning
+:func:`run`/:func:`run_key` keep their historical cache-kind signatures;
+:func:`run_experiment`/:func:`experiment_key` are the kind-generic
+equivalents every figure family now goes through.  :func:`prefetch`
+resolves a whole batch (any mix of kinds) at once, optionally fanning
 computation out across worker processes (``jobs > 1``) through
 :class:`~repro.exec.pool.ExperimentPool`; parallel results are
 bit-identical to serial execution.
@@ -22,14 +26,14 @@ from typing import Dict, Iterable, Optional, Sequence
 
 from repro.cache.config import CacheConfig
 from repro.cache.stats import CacheStats
-from repro.exec.keys import RunKey
+from repro.exec.keys import ExperimentSpec, RunKey
 from repro.exec.pool import ExperimentPool, PoolTelemetry, default_jobs
 from repro.exec.store import ResultStore, open_default_store
 from repro.trace.corpus import BENCHMARK_NAMES, DEFAULT_SCALE
 
 DEFAULT_SEED = 1991
 
-_run_cache: Dict[RunKey, CacheStats] = {}
+_run_cache: Dict[ExperimentSpec, object] = {}
 
 #: Lazily resolved from the environment on first use; ``False`` is the
 #: "not yet resolved" sentinel (``None`` is a valid resolved value: off).
@@ -56,14 +60,39 @@ def reset_store() -> None:
     _store = False
 
 
+def experiment_key(
+    kind: str,
+    workload: str,
+    config,
+    scale: float = DEFAULT_SCALE,
+    seed: int = DEFAULT_SEED,
+    flush: bool = True,
+) -> ExperimentSpec:
+    """The content-addressed identity of one experiment of any kind."""
+    return ExperimentSpec(
+        kind=kind, workload=workload, scale=scale, seed=seed, config=config,
+        flush=flush,
+    )
+
+
 def run_key(
     workload: str,
     config: CacheConfig,
     scale: float = DEFAULT_SCALE,
     seed: int = DEFAULT_SEED,
-) -> RunKey:
-    """The content-addressed identity of one ``run()`` call."""
-    return RunKey(workload=workload, scale=scale, seed=seed, config=config)
+    flush: bool = True,
+) -> ExperimentSpec:
+    """The content-addressed identity of one ``run()`` call (cache kind)."""
+    return RunKey(workload=workload, scale=scale, seed=seed, config=config,
+                  flush=flush)
+
+
+def run_experiment(spec: ExperimentSpec):
+    """Resolve one experiment of any kind (memo -> store -> compute)."""
+    results = ExperimentPool(store=get_store(), jobs=1).run_many(
+        [spec], memo=_run_cache
+    )
+    return next(iter(results.values()))
 
 
 def run(
@@ -73,22 +102,21 @@ def run(
     seed: int = DEFAULT_SEED,
 ) -> CacheStats:
     """Simulate ``workload`` through ``config`` (memo -> store -> compute)."""
-    results = ExperimentPool(store=get_store(), jobs=1).run_many(
-        [run_key(workload, config, scale=scale, seed=seed)], memo=_run_cache
-    )
-    return next(iter(results.values()))
+    return run_experiment(run_key(workload, config, scale=scale, seed=seed))
 
 
 def prefetch(
-    keys: Iterable[RunKey],
+    keys: Iterable[ExperimentSpec],
     jobs: Optional[int] = None,
     callback=None,
 ) -> PoolTelemetry:
-    """Resolve a batch of runs into the memo (and store) ahead of use.
+    """Resolve a batch of experiments into the memo (and store) ahead of use.
 
-    ``jobs=None`` uses ``$REPRO_JOBS`` (default 1); ``jobs>1`` computes
-    misses in a process pool.  Returns the batch telemetry so callers can
-    report memo/store/computed counts.
+    The batch may mix kinds freely — each distinct trace ships to workers
+    once however many kinds consume it.  ``jobs=None`` uses
+    ``$REPRO_JOBS`` (default 1); ``jobs>1`` computes misses in a process
+    pool.  Returns the batch telemetry so callers can report
+    memo/store/computed counts.
     """
     pool = ExperimentPool(
         store=get_store(),
@@ -105,7 +133,7 @@ def suite_keys(
     scale: float = DEFAULT_SCALE,
     seed: int = DEFAULT_SEED,
 ) -> list:
-    """The full configs x workloads grid as :class:`RunKey` batch."""
+    """The full configs x workloads grid as a cache-kind spec batch."""
     return [
         run_key(name, config, scale=scale, seed=seed)
         for config in configs

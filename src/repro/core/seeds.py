@@ -76,51 +76,58 @@ def _figure_with_seed(figure_id: str, seed: int, scale: float):
     import repro.core.runner as runner_module
     import repro.trace.corpus as corpus_module
 
-    original_run = runner_module.run
+    # Every figure path builds its specs through run_key/experiment_key,
+    # so forcing the seed there (in the runner module and in every module
+    # that imported the builders directly) covers all experiment kinds.
+    original_run_key = runner_module.run_key
+    original_experiment_key = runner_module.experiment_key
 
-    def seeded_run(workload, config, scale=corpus_module.DEFAULT_SCALE, seed_=seed, **kw):
-        return original_run(workload, config, scale=scale, seed=seed_)
+    def seeded_run_key(
+        workload, config, scale=corpus_module.DEFAULT_SCALE, **kw
+    ):
+        kw["seed"] = seed
+        return original_run_key(workload, config, scale=scale, **kw)
 
-    # Patch every consumer module that imported `run` directly.
+    def seeded_experiment_key(
+        kind, workload, config, scale=corpus_module.DEFAULT_SCALE, **kw
+    ):
+        kw["seed"] = seed
+        return original_experiment_key(kind, workload, config, scale=scale, **kw)
+
     import repro.core.sweep as sweep_module
-    import repro.core.figures.write_miss_fig as write_miss_module
     import repro.core.figures.traffic_fig as traffic_module
+    import repro.core.figures.write_buffer_fig as write_buffer_module
     import repro.core.figures.write_cache_fig as write_cache_module
+    import repro.core.figures.tables_fig as tables_module
 
     patched = [
-        (runner_module, "run"),
-        (sweep_module, "run"),
-        (write_miss_module, "run"),
-        (traffic_module, "run"),
-        (write_cache_module, "run"),
+        (runner_module, "run_key", seeded_run_key),
+        (runner_module, "experiment_key", seeded_experiment_key),
+        (sweep_module, "experiment_key", seeded_experiment_key),
+        (traffic_module, "experiment_key", seeded_experiment_key),
+        (write_buffer_module, "experiment_key", seeded_experiment_key),
+        (write_cache_module, "experiment_key", seeded_experiment_key),
+        (write_cache_module, "run_key", seeded_run_key),
     ]
-    saved = [(module, getattr(module, attribute)) for module, attribute in patched]
+
+    # Table 1 reads traces directly rather than through the runner.
     corpus_load = corpus_module.load
 
     def seeded_load(name, scale=corpus_module.DEFAULT_SCALE, seed_=seed, **kw):
         return corpus_load(name, scale=scale, seed=seed_)
 
-    load_consumers = []
-    import repro.core.figures.write_buffer_fig as write_buffer_module
-    import repro.core.figures.tables_fig as tables_module
+    patched.append((tables_module, "load", seeded_load))
 
-    load_consumers = [
-        (write_cache_module, "load"),
-        (write_buffer_module, "load"),
-        (tables_module, "load"),
+    saved = [
+        (module, attribute, getattr(module, attribute))
+        for module, attribute, _ in patched
     ]
-    saved_loads = [(module, getattr(module, attribute)) for module, attribute in load_consumers]
-
     try:
-        for module, attribute in patched:
-            setattr(module, attribute, seeded_run)
-        for module, attribute in load_consumers:
-            setattr(module, attribute, seeded_load)
+        for module, attribute, replacement in patched:
+            setattr(module, attribute, replacement)
         return get_figure(figure_id, scale=scale)
     finally:
-        for (module, attribute), (_, original) in zip(patched, saved):
-            setattr(module, attribute, original)
-        for (module, attribute), (_, original) in zip(load_consumers, saved_loads):
+        for module, attribute, original in saved:
             setattr(module, attribute, original)
 
 

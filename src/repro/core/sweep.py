@@ -11,7 +11,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 from repro.cache.config import CacheConfig
 from repro.cache.policies import WriteHitPolicy, WriteMissPolicy
 from repro.cache.stats import CacheStats
-from repro.core.runner import prefetch, run, suite_keys
+from repro.core.runner import experiment_key, prefetch, run_experiment
 from repro.trace.corpus import BENCHMARK_NAMES
 
 #: Fig. 2 / Fig. 10 x-axis: cache capacity in KB, 16 B lines.
@@ -44,14 +44,16 @@ def config_grid(
     ]
 
 
-def sweep(
-    configs: Sequence[CacheConfig],
-    metric: Callable[[CacheStats], float],
+def sweep_experiments(
+    kind: str,
+    configs: Sequence,
+    metric: Callable,
     workloads: Sequence[str] = BENCHMARK_NAMES,
     scale: float = 1.0,
     jobs: Optional[int] = None,
+    flush: bool = True,
 ) -> Dict[str, List[float]]:
-    """Evaluate ``metric`` for each workload across ``configs``.
+    """Evaluate ``metric`` for each workload across ``configs`` of ``kind``.
 
     The full configs x workloads grid is prefetched up front — one batch
     through the experiment pool (parallel when ``jobs`` / ``$REPRO_JOBS``
@@ -62,16 +64,38 @@ def sweep(
     unweighted mean across benchmarks, which is how the paper draws its
     bold average curves.
     """
-    prefetch(suite_keys(configs, workloads, scale=scale), jobs=jobs)
+    specs = {
+        (name, index): experiment_key(
+            kind, name, config, scale=scale, flush=flush
+        )
+        for index, config in enumerate(configs)
+        for name in workloads
+    }
+    prefetch(list(specs.values()), jobs=jobs)
     series: Dict[str, List[float]] = {name: [] for name in workloads}
-    for config in configs:
+    for index in range(len(configs)):
         for name in workloads:
-            series[name].append(metric(run(name, config, scale=scale)))
+            series[name].append(metric(run_experiment(specs[name, index])))
     series["average"] = [
         sum(series[name][index] for name in workloads) / len(workloads)
         for index in range(len(configs))
     ]
     return series
+
+
+def sweep(
+    configs: Sequence[CacheConfig],
+    metric: Callable[[CacheStats], float],
+    workloads: Sequence[str] = BENCHMARK_NAMES,
+    scale: float = 1.0,
+    jobs: Optional[int] = None,
+) -> Dict[str, List[float]]:
+    """Evaluate a cache-kind ``metric`` across ``configs`` (see
+    :func:`sweep_experiments`, of which this is the ``cache`` special
+    case kept for the figure drivers and historical callers)."""
+    return sweep_experiments(
+        "cache", configs, metric, workloads=workloads, scale=scale, jobs=jobs
+    )
 
 
 def size_sweep_configs(

@@ -1,29 +1,46 @@
 """Experiment orchestration: parallel execution and persistent results.
 
-The figure and benchmark sweeps all reduce to batches of
-``(workload, scale, seed, config)`` simulation requests.  This package
-turns those batches into a pipeline:
+The figure and benchmark sweeps all reduce to batches of experiment
+requests — an experiment *kind* (which simulator family), a workload with
+scale and seed, and a kind-specific configuration.  This package turns
+those batches into a pipeline:
 
-- :mod:`repro.exec.keys` — :class:`RunKey`, the content-addressed identity
-  of one run (simulator version included, so engine changes invalidate);
+- :mod:`repro.exec.experiments` — the kind registry: each simulator
+  family registers a runner, a stats type and an engine version under a
+  stable kind tag (:func:`register_runner`);
+- :mod:`repro.exec.keys` — :class:`ExperimentSpec`, the content-addressed
+  identity of one run (the kind's engine version is part of the hash, so
+  engine changes invalidate that kind's results only); :func:`RunKey`
+  builds the cache-kind spec;
 - :mod:`repro.exec.store` — :class:`ResultStore`, an atomic,
-  corruption-tolerant on-disk map from keys to
-  :class:`~repro.cache.stats.CacheStats`;
+  corruption-tolerant on-disk map from specs to their kind's stats;
 - :mod:`repro.exec.pool` — :class:`ExperimentPool`, a deduplicating
   memory -> disk -> compute batch runner with optional process-pool
-  fan-out and per-run telemetry.
+  fan-out and per-run telemetry; mixed-kind batches share trace
+  shipment.
 
 :mod:`repro.core.runner` builds its ``run``/``prefetch`` API on top, so
 callers rarely touch this package directly.
 """
 
-from repro.exec.keys import RunKey
+from repro.exec.experiments import (
+    ExperimentKind,
+    UnknownExperimentKind,
+    engine_version_for,
+    get_kind,
+    register_runner,
+    registered_kinds,
+    unregister_runner,
+)
+from repro.exec.keys import ExperimentSpec, RunKey
 from repro.exec.pool import (
     ENV_JOBS,
     ExperimentPool,
     PoolTelemetry,
     RunEvent,
+    aggregate_telemetry,
     default_jobs,
+    reset_aggregate_telemetry,
     set_default_jobs,
     verbose_reporter,
 )
@@ -36,10 +53,20 @@ from repro.exec.store import (
 )
 
 __all__ = [
+    "ExperimentKind",
+    "ExperimentSpec",
     "RunKey",
+    "UnknownExperimentKind",
+    "engine_version_for",
+    "get_kind",
+    "register_runner",
+    "registered_kinds",
+    "unregister_runner",
     "ExperimentPool",
     "PoolTelemetry",
     "RunEvent",
+    "aggregate_telemetry",
+    "reset_aggregate_telemetry",
     "default_jobs",
     "set_default_jobs",
     "verbose_reporter",

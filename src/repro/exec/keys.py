@@ -1,40 +1,54 @@
-"""Content-addressed identity of one simulation run.
+"""Content-addressed identity of one experiment.
 
-A :class:`RunKey` names everything that determines a run's statistics:
-the workload, its scale and seed, the cache configuration and the
-simulator version.  Its :meth:`~RunKey.digest` is the address under which
-the result store persists the :class:`~repro.cache.stats.CacheStats`, so
-it must be stable across processes, Python versions and hash
-randomisation — it is built from an explicit canonical string, never from
-``hash()``.
+An :class:`ExperimentSpec` names everything that determines a run's
+statistics: the experiment kind, the workload with its scale and seed,
+the kind-specific configuration, the flush policy, and — via the
+experiment registry — the kind's engine version.  Its
+:meth:`~ExperimentSpec.digest` is the address under which the result
+store persists the stats, so it must be stable across processes, Python
+versions and hash randomisation — it is built from an explicit canonical
+string, never from ``hash()``.
+
+Config objects plug in via duck typing: anything frozen/hashable with a
+``cache_key()`` canonical string and a ``name`` property participates
+(:class:`~repro.cache.config.CacheConfig`,
+:class:`~repro.buffers.write_buffer.WriteBufferConfig`, ...).
+
+:func:`RunKey` survives as a factory for the original cache-kind spec, so
+``RunKey("ccom", 1.0, 1991, CacheConfig())`` keeps meaning what it always
+did.
 """
 
 import hashlib
 from dataclasses import dataclass
 
 from repro.cache.config import CacheConfig
-from repro.cache.fastsim import SIMULATOR_VERSION
+from repro.exec.experiments import engine_version_for
 
 
 @dataclass(frozen=True)
-class RunKey:
-    """One (workload, scale, seed, config) simulation request."""
+class ExperimentSpec:
+    """One (kind, workload, scale, seed, config, flush) experiment request."""
 
+    kind: str
     workload: str
     scale: float
     seed: int
-    config: CacheConfig
+    config: object
+    flush: bool = True
 
     def canonical(self) -> str:
         """The exact string that is hashed into the store address.
 
         ``scale`` uses ``repr`` so distinct floats never collide, and the
-        simulator version rides along so an engine bump invalidates every
-        previously stored result.
+        kind's engine version rides along so an engine bump invalidates
+        every previously stored result of that kind — and only that kind.
         """
         return (
-            f"workload={self.workload}:scale={self.scale!r}:seed={self.seed}:"
-            f"{self.config.cache_key()}:simver={SIMULATOR_VERSION}"
+            f"kind={self.kind}:workload={self.workload}:scale={self.scale!r}:"
+            f"seed={self.seed}:flush={int(self.flush)}:"
+            f"{self.config.cache_key()}:"
+            f"engine={engine_version_for(self.kind)}"
         )
 
     def digest(self) -> str:
@@ -43,4 +57,27 @@ class RunKey:
 
     def describe(self) -> str:
         """Short human-readable label for progress reporting."""
-        return f"{self.workload}@{self.scale:g} on {self.config.name}"
+        label = f"{self.workload}@{self.scale:g} on {self.config.name}"
+        if self.kind != "cache":
+            label = f"[{self.kind}] {label}"
+        if not self.flush:
+            label += " (no flush)"
+        return label
+
+
+def RunKey(
+    workload: str,
+    scale: float,
+    seed: int,
+    config: CacheConfig,
+    flush: bool = True,
+) -> ExperimentSpec:
+    """Build a cache-kind :class:`ExperimentSpec` (the original key shape)."""
+    return ExperimentSpec(
+        kind="cache",
+        workload=workload,
+        scale=scale,
+        seed=seed,
+        config=config,
+        flush=flush,
+    )

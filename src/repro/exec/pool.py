@@ -1,22 +1,26 @@
 """Parallel experiment execution with dedup, persistence and telemetry.
 
-:class:`ExperimentPool` takes a batch of :class:`~repro.exec.keys.RunKey`
-requests and resolves each through a three-level lookup: an in-memory memo
-(shared with :mod:`repro.core.runner`), the on-disk
-:class:`~repro.exec.store.ResultStore`, and finally computation via
-:func:`repro.cache.fastsim.simulate_trace` — inline for ``jobs=1``, or
-fanned out across a ``ProcessPoolExecutor`` for ``jobs>1``.  Duplicate
-keys are collapsed before any work is scheduled, freshly computed results
-are persisted as they stream back, and every resolution emits a
-:class:`RunEvent` through a pluggable callback (see
+:class:`ExperimentPool` takes a batch of
+:class:`~repro.exec.keys.ExperimentSpec` requests — of any mix of
+registered kinds — and resolves each through a three-level lookup: an
+in-memory memo (shared with :mod:`repro.core.runner`), the on-disk
+:class:`~repro.exec.store.ResultStore`, and finally computation via the
+kind's registered runner (see :mod:`repro.exec.experiments`) — inline for
+``jobs=1``, or fanned out across a ``ProcessPoolExecutor`` for
+``jobs>1``.  Duplicate specs are collapsed before any work is scheduled,
+freshly computed results are persisted as they stream back, and every
+resolution emits a :class:`RunEvent` through a pluggable callback (see
 :func:`verbose_reporter` for the ``--verbose`` CLI hook).
 
 Traces travel to workers as zero-copy shared-memory pages
 (:mod:`repro.exec.shm`): the parent builds each distinct trace once and
-workers map the page instead of re-running the workload generator.  When
-shared memory is unavailable, workers fall back to regenerating from the
-deterministic generators — either way parallel results are bit-identical
-to serial execution, which the test suite enforces.
+workers map the page instead of re-running the workload generator.
+Because pages are keyed by (workload, scale, seed), a mixed-kind batch
+over the same workload ships each trace exactly once, whatever kinds
+consume it.  When shared memory is unavailable, workers fall back to
+regenerating from the deterministic generators — either way parallel
+results are bit-identical to serial execution, which the test suite
+enforces per kind.
 """
 
 import os
@@ -26,8 +30,8 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Optional, Tuple
 
-from repro.cache.stats import CacheStats
-from repro.exec.keys import RunKey
+from repro.exec.experiments import get_kind
+from repro.exec.keys import ExperimentSpec
 from repro.exec.store import ResultStore
 
 #: Environment variable setting the default worker count.
@@ -60,8 +64,8 @@ def default_jobs() -> int:
 class RunEvent:
     """One resolved run, reported through the telemetry callback."""
 
-    kind: str  #: "memory", "store" or "computed"
-    key: RunKey
+    source: str  #: "memory", "store" or "computed"
+    key: ExperimentSpec
     seconds: float  #: simulation wall-time (0 for memory/store hits)
     completed: int  #: runs resolved so far, this batch
     total: int  #: deduplicated batch size
@@ -79,6 +83,16 @@ class PoolTelemetry:
     sim_seconds: float = 0.0  #: summed per-run simulation wall-time
     wall_seconds: float = 0.0  #: end-to-end batch wall-time
 
+    def add(self, other: "PoolTelemetry") -> None:
+        """Fold another batch's counters into this one."""
+        self.requested += other.requested
+        self.deduplicated += other.deduplicated
+        self.memory_hits += other.memory_hits
+        self.store_hits += other.store_hits
+        self.computed += other.computed
+        self.sim_seconds += other.sim_seconds
+        self.wall_seconds += other.wall_seconds
+
     def line(self) -> str:
         """Stable machine-greppable summary (CI asserts on ``computed=``)."""
         return (
@@ -89,34 +103,57 @@ class PoolTelemetry:
         )
 
 
-def _execute(key: RunKey) -> Tuple[CacheStats, float]:
-    """Simulate one run; used both inline and inside worker processes."""
-    from repro.cache.fastsim import simulate_trace
+#: Process-wide running total across every batch (any pool instance).
+#: Lets multi-batch commands (``repro figures`` renders several figures,
+#: each prefetching its own grid) report one summary line CI can grep.
+_aggregate = PoolTelemetry()
+
+
+def aggregate_telemetry() -> PoolTelemetry:
+    """The process-wide telemetry total (all batches since last reset)."""
+    return _aggregate
+
+
+def reset_aggregate_telemetry() -> PoolTelemetry:
+    """Zero the process-wide total; returns the new (empty) instance."""
+    global _aggregate
+    _aggregate = PoolTelemetry()
+    return _aggregate
+
+
+def _execute(spec: ExperimentSpec) -> Tuple[object, float]:
+    """Run one experiment; used both inline and inside worker processes.
+
+    Dispatches through the kind registry, so worker processes resolve the
+    same runner the parent would (builtin kinds register lazily on first
+    lookup in each process).
+    """
     from repro.trace.corpus import load
 
-    trace = load(key.workload, scale=key.scale, seed=key.seed)
+    runner = get_kind(spec.kind).runner
+    trace = load(spec.workload, scale=spec.scale, seed=spec.seed)
     started = time.perf_counter()
-    stats = simulate_trace(trace, key.config, flush=True)
+    stats = runner(spec, trace)
     return stats, time.perf_counter() - started
 
 
-def _execute_shared(key: RunKey, handle) -> Tuple[CacheStats, float]:
-    """Simulate one run against a trace shipped in shared memory.
+def _execute_shared(spec: ExperimentSpec, handle) -> Tuple[object, float]:
+    """Run one experiment against a trace shipped in shared memory.
 
     Falls back to regenerating the trace if the page cannot be mapped
     (e.g. the platform lacks POSIX shared memory) — the results are
     bit-identical either way, only slower.
     """
-    from repro.cache.fastsim import simulate_trace
     from repro.exec.shm import attach_trace
     from repro.trace.corpus import load
 
+    runner = get_kind(spec.kind).runner
     try:
         trace = attach_trace(handle)
     except (OSError, ValueError):
-        trace = load(key.workload, scale=key.scale, seed=key.seed)
+        trace = load(spec.workload, scale=spec.scale, seed=spec.seed)
     started = time.perf_counter()
-    stats = simulate_trace(trace, key.config, flush=True)
+    stats = runner(spec, trace)
     return stats, time.perf_counter() - started
 
 
@@ -125,8 +162,10 @@ def verbose_reporter(stream=None) -> Callable[[RunEvent], None]:
 
     def report(event: RunEvent) -> None:
         out = stream if stream is not None else sys.stderr
-        label = {"memory": "memo ", "store": "store", "computed": "sim  "}[event.kind]
-        timing = f" ({event.seconds:.2f}s)" if event.kind == "computed" else ""
+        label = {"memory": "memo ", "store": "store", "computed": "sim  "}[
+            event.source
+        ]
+        timing = f" ({event.seconds:.2f}s)" if event.source == "computed" else ""
         print(
             f"[{event.completed}/{event.total}] {label} {event.key.describe()}{timing}",
             file=out,
@@ -149,9 +188,9 @@ class ExperimentPool:
         self.callback = callback
         self.telemetry = PoolTelemetry()
 
-    def _emit(self, kind, key, seconds, completed, total) -> None:
+    def _emit(self, source, key, seconds, completed, total) -> None:
         if self.callback is not None:
-            self.callback(RunEvent(kind, key, seconds, completed, total))
+            self.callback(RunEvent(source, key, seconds, completed, total))
 
     @staticmethod
     def _export_traces(pending):
@@ -163,11 +202,11 @@ class ExperimentPool:
 
         exported = {}
         try:
-            for key in pending:
-                identity = (key.workload, key.scale, key.seed)
+            for spec in pending:
+                identity = (spec.workload, spec.scale, spec.seed)
                 if identity not in exported:
                     exported[identity] = export_trace(
-                        load(key.workload, scale=key.scale, seed=key.seed)
+                        load(spec.workload, scale=spec.scale, seed=spec.seed)
                     )
         except OSError:
             for shared in exported.values():
@@ -178,23 +217,29 @@ class ExperimentPool:
 
     def run_many(
         self,
-        keys: Iterable[RunKey],
-        memo: Optional[Dict[RunKey, CacheStats]] = None,
-    ) -> Dict[RunKey, CacheStats]:
-        """Resolve every key; returns results in first-seen key order.
+        keys: Iterable[ExperimentSpec],
+        memo: Optional[Dict[ExperimentSpec, object]] = None,
+    ) -> Dict[ExperimentSpec, object]:
+        """Resolve every spec; returns results in first-seen spec order.
 
         ``memo`` is consulted first and updated in place (the runner passes
         its per-process cache so pool results feed subsequent ``run()``
-        calls for free).  Telemetry covers exactly this batch.
+        calls for free).  Telemetry covers exactly this batch; the
+        process-wide :func:`aggregate_telemetry` accumulates across
+        batches.
         """
         started = time.perf_counter()
         requested = list(keys)
+        # Validate every kind up front: an unknown kind should fail the
+        # batch loudly, not die inside a worker process.
+        for spec in requested:
+            get_kind(spec.kind)
         unique = list(dict.fromkeys(requested))
         telemetry = self.telemetry = PoolTelemetry(
             requested=len(requested), deduplicated=len(unique)
         )
 
-        results: Dict[RunKey, CacheStats] = {}
+        results: Dict[ExperimentSpec, object] = {}
         pending = []
         completed = 0
         total = len(unique)
@@ -216,7 +261,7 @@ class ExperimentPool:
                 continue
             pending.append(key)
 
-        def resolve(key: RunKey, stats: CacheStats, seconds: float) -> None:
+        def resolve(key: ExperimentSpec, stats, seconds: float) -> None:
             nonlocal completed
             results[key] = stats
             if memo is not None:
@@ -260,4 +305,5 @@ class ExperimentPool:
                         shared.unlink()
 
         telemetry.wall_seconds = time.perf_counter() - started
+        _aggregate.add(telemetry)
         return {key: results[key] for key in unique}

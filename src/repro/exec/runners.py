@@ -1,0 +1,74 @@
+"""Builtin experiment runners — one per simulator family.
+
+Imported lazily by :mod:`repro.exec.experiments` on first kind lookup;
+the module-level :func:`~repro.exec.experiments.register_runner` calls at
+the bottom are what make the builtin kinds exist.  Worker processes hit
+the same lazy import on their first dispatched spec, so kinds resolve
+identically under :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Engine versioning: families built on the L1 simulator (``cache``,
+``victim_buffer``, ``system``) fold ``SIMULATOR_VERSION`` into their
+engine tag, so an L1 engine bump invalidates their stored results too;
+the pure timing models (``write_buffer``, ``write_cache``) version
+independently.
+"""
+
+from repro.buffers.victim_buffer import (
+    VICTIM_BUFFER_ENGINE_VERSION,
+    VictimBufferStats,
+    dirty_victim_times,
+)
+from repro.buffers.write_buffer import WRITE_BUFFER_ENGINE_VERSION, WriteBufferStats
+from repro.buffers.write_cache import WRITE_CACHE_ENGINE_VERSION, WriteCacheStats
+from repro.cache.fastsim import SIMULATOR_VERSION, simulate_trace
+from repro.cache.stats import CacheStats
+from repro.exec.experiments import register_runner
+from repro.hierarchy.system import SYSTEM_ENGINE_VERSION, SystemStats, simulate_system
+
+
+def run_cache(spec, trace):
+    """L1 cache counters via the fast simulator."""
+    return simulate_trace(trace, spec.config, flush=spec.flush)
+
+
+def run_write_buffer(spec, trace):
+    """Coalescing write buffer timing model (no flush concept: the buffer
+    always drains on its own; ``spec.flush`` is identity-only here)."""
+    return spec.config.build().simulate(trace)
+
+
+def run_write_cache(spec, trace):
+    """Stand-alone write cache over the store stream of the trace."""
+    return spec.config.build().run_writes(trace, flush=spec.flush)
+
+
+def run_victim_buffer(spec, trace):
+    """Dirty-victim buffer timing behind the configured write-back cache."""
+    times, instructions = dirty_victim_times(trace, spec.config.cache)
+    return spec.config.build().simulate(times, instructions)
+
+
+def run_system(spec, trace):
+    """Composed hierarchy: L1 + optional structures + metered memory."""
+    return simulate_system(trace, spec.config, flush=spec.flush)
+
+
+register_runner("cache", run_cache, CacheStats, SIMULATOR_VERSION)
+register_runner(
+    "write_buffer", run_write_buffer, WriteBufferStats, WRITE_BUFFER_ENGINE_VERSION
+)
+register_runner(
+    "write_cache", run_write_cache, WriteCacheStats, WRITE_CACHE_ENGINE_VERSION
+)
+register_runner(
+    "victim_buffer",
+    run_victim_buffer,
+    VictimBufferStats,
+    f"{VICTIM_BUFFER_ENGINE_VERSION}+sim{SIMULATOR_VERSION}",
+)
+register_runner(
+    "system",
+    run_system,
+    SystemStats,
+    f"{SYSTEM_ENGINE_VERSION}+sim{SIMULATOR_VERSION}",
+)

@@ -1,22 +1,26 @@
 """On-disk, content-addressed result store.
 
 Layout: one JSON file per result under ``<root>/v<SCHEMA>/<aa>/<digest>.json``
-where ``aa`` is the first two hex digits of the :class:`~repro.exec.keys.RunKey`
-digest (a 256-way shard keeps directories small for large sweeps).  Each
-record carries the schema version, the canonical key string and the full
-:class:`~repro.cache.stats.CacheStats` counter dict.
+where ``aa`` is the first two hex digits of the
+:class:`~repro.exec.keys.ExperimentSpec` digest (a 256-way shard keeps
+directories small for large sweeps).  Each record carries the store schema
+version, the experiment kind with its per-kind stats schema version, the
+canonical key string and the stats counter dict for that kind.
 
 Guarantees:
 
 - **atomic writes** — records are written to a temp file in the shard
   directory and ``os.replace``d into place, so readers never observe a
   partial record, even across concurrent writers;
-- **corruption tolerance** — a truncated, garbled or schema-mismatched
-  record reads as a miss (and is counted in telemetry), never a crash;
-  the caller simply recomputes and overwrites it;
-- **invalidation** — the simulator version is part of the content hash
-  (see :meth:`RunKey.canonical`), so bumping it orphans old records;
-  ``gc()`` deletes orphans and corrupt files.
+- **corruption tolerance** — a truncated, garbled, schema-mismatched or
+  wrong-kind record reads as a miss (and is counted in telemetry), never
+  a crash; the caller simply recomputes and overwrites it — and one
+  kind's bad records never affect another kind's;
+- **invalidation** — each kind's engine version is part of the content
+  hash (see :meth:`ExperimentSpec.canonical`), so bumping one family's
+  engine orphans that family's records only; a kind's ``schema_version``
+  is checked at read time, so a counter-layout change cannot resurrect as
+  garbage.  ``gc()`` deletes orphans and corrupt files.
 
 The default location is ``$REPRO_RESULT_DIR`` if set, else
 ``~/.cache/repro/results`` (honouring ``$XDG_CACHE_HOME``).  Setting
@@ -28,14 +32,15 @@ import json
 import os
 import pathlib
 import tempfile
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Tuple
 
-from repro.cache.stats import CacheStats
-from repro.exec.keys import RunKey
+from repro.exec.experiments import UnknownExperimentKind, get_kind
+from repro.exec.keys import ExperimentSpec
 
 #: Bump when the record layout changes; old schema dirs become garbage.
-STORE_SCHEMA = 1
+#: v2: records gained "kind" and "kind_schema" (kind-dispatched registry).
+STORE_SCHEMA = 2
 
 #: Environment variable overriding the store location ("off" disables).
 ENV_RESULT_DIR = "REPRO_RESULT_DIR"
@@ -62,7 +67,7 @@ class StoreTelemetry:
 
 
 class ResultStore:
-    """Persistent map from :class:`RunKey` to :class:`CacheStats`."""
+    """Persistent map from :class:`ExperimentSpec` to its kind's stats."""
 
     def __init__(self, root) -> None:
         self.root = pathlib.Path(root)
@@ -74,13 +79,13 @@ class ResultStore:
     def schema_dir(self) -> pathlib.Path:
         return self.root / f"v{STORE_SCHEMA}"
 
-    def path_for(self, key: RunKey) -> pathlib.Path:
+    def path_for(self, key: ExperimentSpec) -> pathlib.Path:
         digest = key.digest()
         return self.schema_dir / digest[:2] / f"{digest}.json"
 
     # -- read/write ---------------------------------------------------------
 
-    def get(self, key: RunKey) -> Optional[CacheStats]:
+    def get(self, key: ExperimentSpec):
         """Load a stored result, or ``None`` on miss/corruption."""
         path = self.path_for(key)
         try:
@@ -92,9 +97,19 @@ class ResultStore:
             record = json.loads(raw)
             if record["schema"] != STORE_SCHEMA:
                 raise ValueError(f"schema {record['schema']} != {STORE_SCHEMA}")
+            if record["kind"] != key.kind:
+                raise ValueError(
+                    f"stored kind {record['kind']!r} != requested {key.kind!r}"
+                )
+            kind = get_kind(key.kind)
+            if record["kind_schema"] != kind.schema_version:
+                raise ValueError(
+                    f"{key.kind} stats schema {record['kind_schema']} "
+                    f"!= {kind.schema_version}"
+                )
             if record["key"] != key.canonical():
                 raise ValueError("stored key does not match address")
-            stats = CacheStats.from_dict(record["stats"])
+            stats = kind.stats_type.from_dict(record["stats"])
         except (ValueError, KeyError, TypeError):
             # A bad record is never fatal: treat as a miss and recompute.
             self.telemetry.corrupt += 1
@@ -102,10 +117,18 @@ class ResultStore:
         self.telemetry.hits += 1
         return stats
 
-    def put(self, key: RunKey, stats: CacheStats) -> None:
+    def put(self, key: ExperimentSpec, stats) -> None:
         """Persist a result atomically (write temp file, then rename)."""
+        kind = get_kind(key.kind)
+        if not isinstance(stats, kind.stats_type):
+            raise TypeError(
+                f"{key.kind} experiments persist {kind.stats_type.__name__}, "
+                f"got {type(stats).__name__}"
+            )
         record = {
             "schema": STORE_SCHEMA,
+            "kind": kind.name,
+            "kind_schema": kind.schema_version,
             "key": key.canonical(),
             "stats": stats.to_dict(),
         }
@@ -126,7 +149,7 @@ class ResultStore:
             raise
         self.telemetry.writes += 1
 
-    def contains(self, key: RunKey) -> bool:
+    def contains(self, key: ExperimentSpec) -> bool:
         """Cheap existence probe (no parse, no telemetry)."""
         return self.path_for(key).exists()
 
@@ -143,10 +166,15 @@ class ResultStore:
         return sum(1 for _ in self._record_paths())
 
     def stats(self) -> Dict[str, object]:
-        """Summary of what is on disk (for ``repro store stats``)."""
+        """Summary of what is on disk (for ``repro store stats``).
+
+        ``by_kind`` counts current-schema records per experiment kind;
+        unreadable records land in the ``"<corrupt>"`` bucket.
+        """
         records = 0
         size_bytes = 0
         stale = 0
+        by_kind: Dict[str, int] = {}
         for path in self._record_paths():
             records += 1
             try:
@@ -155,11 +183,21 @@ class ResultStore:
                 continue
             if f"v{STORE_SCHEMA}" not in path.parts:
                 stale += 1
+                continue
+            try:
+                record = json.loads(path.read_text(encoding="utf-8"))
+                kind_name = record["kind"]
+                if not isinstance(kind_name, str):
+                    raise TypeError("kind is not a string")
+            except (OSError, ValueError, KeyError, TypeError):
+                kind_name = "<corrupt>"
+            by_kind[kind_name] = by_kind.get(kind_name, 0) + 1
         return {
             "root": str(self.root),
             "records": records,
             "bytes": size_bytes,
             "stale_schema_records": stale,
+            "by_kind": dict(sorted(by_kind.items())),
             **self.telemetry.snapshot(),
         }
 
@@ -175,11 +213,13 @@ class ResultStore:
         return removed
 
     def gc(self) -> Tuple[int, int]:
-        """Drop corrupt and stale-schema records.
+        """Drop corrupt, stale-schema and unknown-kind records.
 
         Returns ``(kept, removed)``.  A record is kept only if it lives
-        under the current schema directory and parses cleanly all the way
-        through :meth:`CacheStats.from_dict`.
+        under the current schema directory, names a registered kind whose
+        stats schema matches, and parses cleanly all the way through that
+        kind's ``from_dict``.  One kind's corrupt records never force
+        another kind's records out.
         """
         kept = removed = 0
         for path in list(self._record_paths()):
@@ -187,9 +227,20 @@ class ResultStore:
             if keep:
                 try:
                     record = json.loads(path.read_text(encoding="utf-8"))
-                    keep = record["schema"] == STORE_SCHEMA
-                    CacheStats.from_dict(record["stats"])
-                except (OSError, ValueError, KeyError, TypeError):
+                    kind = get_kind(record["kind"])
+                    keep = (
+                        record["schema"] == STORE_SCHEMA
+                        and record["kind_schema"] == kind.schema_version
+                    )
+                    if keep:
+                        kind.stats_type.from_dict(record["stats"])
+                except (
+                    OSError,
+                    ValueError,
+                    KeyError,
+                    TypeError,
+                    UnknownExperimentKind,
+                ):
                     keep = False
             if keep:
                 kept += 1

@@ -9,13 +9,31 @@ the next-level components and the glue:
 - :class:`repro.hierarchy.memory.TrafficMeter` — transaction/byte counts
   observed at any backend boundary.
 - :class:`repro.hierarchy.system.CacheSystem` — an L1 cache composed with
-  an optional write buffer or write cache and a memory.
+  an optional write cache and/or victim cache and a memory.
+- :class:`repro.hierarchy.system.SystemConfig` /
+  :class:`repro.hierarchy.system.SystemStats` /
+  :func:`repro.hierarchy.system.simulate_system` — the composed hierarchy
+  as a registered experiment kind (config in, serializable stats out).
 - :class:`repro.hierarchy.system.CacheLevelBackend` — adapter that lets a
   :class:`~repro.cache.cache.Cache` serve as the next level below another
   cache, enabling two-level simulations.
 """
 
 from repro.hierarchy.memory import MainMemory, TrafficMeter
-from repro.hierarchy.system import CacheLevelBackend, CacheSystem
+from repro.hierarchy.system import (
+    CacheLevelBackend,
+    CacheSystem,
+    SystemConfig,
+    SystemStats,
+    simulate_system,
+)
 
-__all__ = ["MainMemory", "TrafficMeter", "CacheLevelBackend", "CacheSystem"]
+__all__ = [
+    "MainMemory",
+    "TrafficMeter",
+    "CacheLevelBackend",
+    "CacheSystem",
+    "SystemConfig",
+    "SystemStats",
+    "simulate_system",
+]

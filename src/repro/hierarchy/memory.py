@@ -10,10 +10,11 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.cache.backend import Backend
+from repro.common.serde import CounterSerde
 
 
 @dataclass
-class TrafficMeter:
+class TrafficMeter(CounterSerde):
     """Transactions and bytes observed at a backend boundary."""
 
     fetches: int = 0

@@ -1,9 +1,13 @@
-"""System composition: L1 cache + buffering structure + memory.
+"""System composition: L1 cache + buffering structures + metered memory.
 
 :class:`CacheSystem` wires together the pieces Section 5 measures: a
-first-level cache whose back side feeds either main memory directly, or a
-write cache (for write-through organisations) in front of main memory.
-The traffic meter on the memory shows what ultimately leaves the chip.
+first-level cache whose back side feeds main memory directly, through a
+write cache (write-through organisations), and/or through a victim cache
+(direct-mapped organisations).  The traffic meter on the memory shows
+what ultimately leaves the chip, and :class:`SystemStats` packages the
+whole composition — L1 counters, structure counters and the meter — as
+one serializable result the experiment layer can persist (the ``system``
+experiment kind; see :mod:`repro.exec.experiments`).
 
 :class:`CacheLevelBackend` adapts a :class:`~repro.cache.cache.Cache` to
 the :class:`~repro.cache.backend.Backend` interface so a second cache
@@ -11,15 +15,149 @@ level can sit underneath the first ("two or more levels of caching are
 assumed" — Section 1).
 """
 
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import ClassVar, Optional
 
 from repro.cache.backend import Backend
 from repro.cache.cache import Cache
 from repro.cache.config import CacheConfig
 from repro.cache.stats import CacheStats
-from repro.buffers.write_cache import WriteCache, WriteCacheBackend
+from repro.buffers.victim_cache import VictimCacheBackend, VictimCacheStats, attach_victim_cache
+from repro.buffers.write_cache import WriteCache, WriteCacheBackend, WriteCacheStats
 from repro.hierarchy.memory import MainMemory, TrafficMeter
 from repro.trace.trace import Trace
+
+#: Bump whenever system composition can alter the statistics produced for
+#: an unchanged (trace, config) pair.  The ``system`` experiment kind also
+#: folds the L1 simulator version into its engine tag, so either bump
+#: invalidates stored system results.
+SYSTEM_ENGINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Immutable description of one composed-hierarchy experiment."""
+
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    write_cache_entries: int = 0
+    victim_entries: int = 0
+
+    def cache_key(self) -> str:
+        """Stable canonical identity string (hashed by the result store)."""
+        return (
+            f"sys_wc={self.write_cache_entries}:victims={self.victim_entries}:"
+            f"{self.cache.cache_key()}"
+        )
+
+    @property
+    def name(self) -> str:
+        """Short human-readable label for progress reporting."""
+        extras = []
+        if self.write_cache_entries:
+            extras.append(f"+WC{self.write_cache_entries}")
+        if self.victim_entries:
+            extras.append(f"+VC{self.victim_entries}")
+        return self.cache.name + "".join(extras)
+
+
+@dataclass
+class SystemStats:
+    """One composed run: L1 counters, structure counters, memory meter.
+
+    The meter is what actually crossed the last backend boundary — with a
+    write cache in the chain ``memory.write_throughs`` is the *merged*
+    store stream, and with a victim cache ``memory.fetches`` excludes the
+    misses serviced by swaps.  The four back-side components the paper's
+    Section 5 taxonomy splits traffic into are exposed as properties.
+    """
+
+    kind: ClassVar[str] = "system"
+
+    l1: CacheStats = field(default_factory=CacheStats)
+    memory: TrafficMeter = field(default_factory=TrafficMeter)
+    write_cache: Optional[WriteCacheStats] = None
+    victim_cache: Optional[VictimCacheStats] = None
+
+    # -- the four back-side traffic components (Section 5) -------------------
+
+    @property
+    def read_miss_fetches(self) -> int:
+        """Fetch transactions caused by loads (incl. partial-miss refills)."""
+        return self.l1.fetches_for_reads + self.l1.fetches_for_partial_reads
+
+    @property
+    def write_miss_fetches(self) -> int:
+        """Fetch transactions caused by stores (fetch-on-write)."""
+        return self.l1.fetches_for_writes
+
+    @property
+    def writeback_transactions(self) -> int:
+        """Dirty-victim write-backs that reached memory (flush included)."""
+        return self.memory.writebacks
+
+    @property
+    def write_through_transactions(self) -> int:
+        """Write-throughs that reached memory (post-merging, if any)."""
+        return self.memory.write_throughs
+
+    # -- aggregates -----------------------------------------------------------
+
+    @property
+    def transactions(self) -> int:
+        """All memory transactions regardless of direction."""
+        return self.memory.transactions
+
+    @property
+    def bytes_total(self) -> int:
+        """All memory bytes moved regardless of direction."""
+        return self.memory.bytes_total
+
+    @property
+    def transactions_per_instruction(self) -> float:
+        """Memory transactions per dynamic instruction (Fig. 18-19 y-axis)."""
+        if not self.l1.instructions:
+            return 0.0
+        return self.memory.transactions / self.l1.instructions
+
+    @property
+    def bytes_per_instruction(self) -> float:
+        """Memory bytes per dynamic instruction."""
+        if not self.l1.instructions:
+            return 0.0
+        return self.memory.bytes_total / self.l1.instructions
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Nested plain-dict form (JSON-safe for the result store)."""
+        payload = {"l1": self.l1.to_dict(), "memory": self.memory.to_dict()}
+        if self.write_cache is not None:
+            payload["write_cache"] = self.write_cache.to_dict()
+        if self.victim_cache is not None:
+            payload["victim_cache"] = self.victim_cache.to_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SystemStats":
+        """Inverse of :meth:`to_dict`; unknown keys raise."""
+        known = {"l1", "memory", "write_cache", "victim_cache"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown SystemStats fields: {sorted(unknown)}")
+        return cls(
+            l1=CacheStats.from_dict(payload["l1"]),
+            memory=TrafficMeter.from_dict(payload["memory"]),
+            write_cache=(
+                WriteCacheStats.from_dict(payload["write_cache"])
+                if "write_cache" in payload
+                else None
+            ),
+            victim_cache=(
+                VictimCacheStats.from_dict(payload["victim_cache"])
+                if "victim_cache" in payload
+                else None
+            ),
+        )
 
 
 class CacheLevelBackend(Backend):
@@ -39,8 +177,8 @@ class CacheLevelBackend(Backend):
         return None
 
     def write_back(self, line_address: int, line_size: int, dirty_mask: int, data=None):
-        # Write each contiguous dirty extent; word granularity is enough
-        # for the modelled ISA.
+        # Write each contiguous dirty extent at its exact byte length, so
+        # sub-word dirty runs do not inflate lower-level write traffic.
         offset = 0
         while offset < line_size:
             if (dirty_mask >> offset) & 1:
@@ -52,9 +190,14 @@ class CacheLevelBackend(Backend):
                 offset += 1
 
     def _write_extent(self, address: int, length: int) -> None:
-        # Split into the 4/8 B stores the cache access path accepts.
+        # Split into the largest naturally-aligned stores the cache access
+        # path accepts (8/4/2/1 B), never writing beyond the dirty extent.
         while length:
-            size = 8 if length >= 8 and address % 8 == 0 else 4
+            size = 1
+            for candidate in (8, 4, 2):
+                if length >= candidate and address % candidate == 0:
+                    size = candidate
+                    break
             self.cache.write(address, size)
             address += size
             length -= size
@@ -71,9 +214,11 @@ class CacheSystem:
         config: CacheConfig,
         write_cache_entries: int = 0,
         memory: Optional[MainMemory] = None,
+        victim_entries: int = 0,
     ) -> None:
         self.memory = memory if memory is not None else MainMemory(store_data=config.store_data)
         self.write_cache: Optional[WriteCache] = None
+        self.victim_backend: Optional[VictimCacheBackend] = None
         backend: Backend = self.memory
         if write_cache_entries > 0:
             if not config.is_write_through:
@@ -84,17 +229,84 @@ class CacheSystem:
             self.write_cache = WriteCache(entries=write_cache_entries)
             backend = WriteCacheBackend(self.write_cache, self.memory)
         self.l1 = Cache(config, backend=backend)
+        if victim_entries > 0:
+            # attach_victim_cache validates (direct-mapped, stats-only) and
+            # rewires the L1 backend and victim hook.
+            self.victim_backend = attach_victim_cache(self.l1, victim_entries, backend)
 
     def run(self, trace: Trace, flush: bool = True) -> CacheStats:
-        """Drive ``trace`` through the system; optionally flush at the end."""
+        """Drive ``trace`` through the system; optionally flush at the end.
+
+        Flushing drains every level in hierarchy order: L1 dirty lines
+        first, then dirty victim-cache residents, then write-cache entries
+        — exactly what powering down the chip would force out.
+        """
         stats = self.l1.run(trace)
         if flush:
             self.l1.flush()
+            if self.victim_backend is not None:
+                self.victim_backend.flush()
             if self.write_cache is not None:
                 self.write_cache.flush()
         return stats
+
+    def system_stats(self) -> SystemStats:
+        """Snapshot the whole composition as one serializable result."""
+        return SystemStats(
+            l1=self.l1.stats,
+            memory=self.memory.meter,
+            write_cache=self.write_cache.stats if self.write_cache is not None else None,
+            victim_cache=(
+                self.victim_backend.victim_cache.stats
+                if self.victim_backend is not None
+                else None
+            ),
+        )
 
     @property
     def memory_traffic(self) -> TrafficMeter:
         """Traffic that actually reached main memory."""
         return self.memory.meter
+
+
+def simulate_system(
+    trace: Trace, config: SystemConfig, flush: bool = True
+) -> SystemStats:
+    """Run one composed-hierarchy experiment and return its stats.
+
+    When the composition is a bare cache over memory (no write cache, no
+    victim cache, stats-only), the meter is *derived* from the fast
+    simulator's counters instead of driving the reference cache through a
+    real backend chain: every backend call site pairs one meter increment
+    with one L1 counter increment, so the derivation is exact (the test
+    suite asserts bit-identity against the composed path).  Structured
+    compositions take the composed path.
+    """
+    if (
+        config.write_cache_entries == 0
+        and config.victim_entries == 0
+        and not config.cache.store_data
+    ):
+        from repro.cache.fastsim import simulate_trace
+
+        stats = simulate_trace(trace, config.cache, flush=flush)
+        writebacks = stats.writebacks + stats.flushed_dirty_lines
+        meter = TrafficMeter(
+            fetches=stats.fetches,
+            fetch_bytes=stats.fetch_bytes,
+            writebacks=writebacks,
+            # MainMemory meters each write-back at full line width; the
+            # subblock_dirty_writeback byte savings live in the L1's own
+            # writeback_bytes counter.
+            writeback_bytes=writebacks * config.cache.line_size,
+            write_throughs=stats.write_throughs,
+            write_through_bytes=stats.write_through_bytes,
+        )
+        return SystemStats(l1=stats, memory=meter)
+    system = CacheSystem(
+        config.cache,
+        write_cache_entries=config.write_cache_entries,
+        victim_entries=config.victim_entries,
+    )
+    system.run(trace, flush=flush)
+    return system.system_stats()

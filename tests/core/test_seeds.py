@@ -37,10 +37,14 @@ class TestSeedSensitivity:
 
     def test_patching_is_reversible(self):
         import repro.core.sweep as sweep_module
-        from repro.core.runner import run as original_run
+        from repro.core.runner import experiment_key as original_experiment_key
+        from repro.core.runner import run_key as original_run_key
+
+        import repro.core.runner as runner_module
 
         seed_sensitivity("fig01", seeds=(7,), scale=TEST_SCALE)
-        assert sweep_module.run is original_run
+        assert sweep_module.experiment_key is original_experiment_key
+        assert runner_module.run_key is original_run_key
 
 
 class TestSpreadDataclass:

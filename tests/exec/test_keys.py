@@ -1,8 +1,14 @@
-"""RunKey: stable, collision-free content addresses."""
+"""ExperimentSpec / RunKey: stable, collision-free content addresses."""
 
+import dataclasses
+
+import pytest
+
+from repro.buffers.write_cache import WriteCacheConfig
 from repro.cache.config import CacheConfig
-from repro.exec import keys as keys_module
-from repro.exec.keys import RunKey
+from repro.exec import experiments
+from repro.exec.experiments import UnknownExperimentKind, get_kind
+from repro.exec.keys import ExperimentSpec, RunKey
 
 
 def test_digest_is_stable_and_hex():
@@ -19,6 +25,7 @@ def test_digest_depends_on_every_component():
         RunKey("ccom", 0.5, 1991, CacheConfig()),
         RunKey("ccom", 1.0, 7, CacheConfig()),
         RunKey("ccom", 1.0, 1991, CacheConfig(size="16KB")),
+        RunKey("ccom", 1.0, 1991, CacheConfig(), flush=False),
     ]
     digests = {base.digest()} | {variant.digest() for variant in variants}
     assert len(digests) == len(variants) + 1
@@ -35,11 +42,52 @@ def test_config_name_does_not_affect_digest():
     assert named.digest() == RunKey("ccom", 1.0, 1991, CacheConfig()).digest()
 
 
-def test_simulator_version_invalidates(monkeypatch):
+def test_flush_is_part_of_the_address():
+    flushed = RunKey("ccom", 1.0, 1991, CacheConfig())
+    cold = RunKey("ccom", 1.0, 1991, CacheConfig(), flush=False)
+    assert flushed.flush and not cold.flush
+    assert flushed.digest() != cold.digest()
+    assert "flush=1" in flushed.canonical()
+    assert "flush=0" in cold.canonical()
+
+
+def test_runkey_builds_cache_kind_spec():
+    key = RunKey("ccom", 1.0, 1991, CacheConfig())
+    assert isinstance(key, ExperimentSpec)
+    assert key.kind == "cache"
+    assert key.canonical().startswith("kind=cache:")
+
+
+def test_engine_version_invalidates(monkeypatch):
     key = RunKey("ccom", 1.0, 1991, CacheConfig())
     before = key.digest()
-    monkeypatch.setattr(keys_module, "SIMULATOR_VERSION", 999)
+    bumped = dataclasses.replace(get_kind("cache"), engine_version="999")
+    monkeypatch.setitem(experiments._REGISTRY, "cache", bumped)
     assert key.digest() != before
+
+
+def test_engine_version_is_per_kind(monkeypatch):
+    cache_key = RunKey("ccom", 1.0, 1991, CacheConfig())
+    wc_spec = ExperimentSpec("write_cache", "ccom", 1.0, 1991, WriteCacheConfig())
+    wc_before = wc_spec.digest()
+    bumped = dataclasses.replace(get_kind("cache"), engine_version="999")
+    monkeypatch.setitem(experiments._REGISTRY, "cache", bumped)
+    assert cache_key.canonical().endswith("engine=999")
+    assert wc_spec.digest() == wc_before
+
+
+def test_same_workload_different_kinds_never_collide():
+    # A write-cache config and a cache config could in principle render
+    # the same canonical fragment; the kind tag keeps the addresses apart.
+    a = ExperimentSpec("cache", "ccom", 1.0, 1991, CacheConfig())
+    b = ExperimentSpec("system", "ccom", 1.0, 1991, CacheConfig())
+    assert a.digest() != b.digest()
+
+
+def test_unknown_kind_fails_at_canonicalization():
+    spec = ExperimentSpec("no_such_kind", "ccom", 1.0, 1991, CacheConfig())
+    with pytest.raises(UnknownExperimentKind):
+        spec.canonical()
 
 
 def test_key_is_hashable_memo_key():

@@ -94,7 +94,7 @@ def test_callback_sees_every_resolution(store):
     unique = len(set(GRID))
     assert len(events) == unique
     assert all(isinstance(event, RunEvent) for event in events)
-    assert {event.kind for event in events} == {"computed"}
+    assert {event.source for event in events} == {"computed"}
     assert [event.completed for event in events] == list(range(1, unique + 1))
     assert all(event.total == unique for event in events)
 

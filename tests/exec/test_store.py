@@ -4,9 +4,10 @@ import json
 
 import pytest
 
+from repro.buffers.write_cache import WriteCacheConfig
 from repro.cache.config import CacheConfig
 from repro.cache.stats import CacheStats
-from repro.exec.keys import RunKey
+from repro.exec.keys import ExperimentSpec, RunKey
 from repro.exec.store import (
     STORE_SCHEMA,
     ResultStore,
@@ -132,6 +133,87 @@ class TestMaintenance:
         assert (kept, removed) == (1, 1)
         assert store.get(good) is not None
         assert not store.path_for(bad).exists()
+
+
+class TestMixedKinds:
+    """Records of several kinds share one store without interfering."""
+
+    @pytest.fixture()
+    def populated(self, store):
+        """One record each of cache, write_cache and system kind."""
+        from repro.buffers.write_cache import WriteCacheStats
+        from repro.hierarchy.memory import TrafficMeter
+        from repro.hierarchy.system import SystemConfig, SystemStats
+
+        cache_key = make_key(size="1KB")
+        wc_key = ExperimentSpec(
+            "write_cache", "ccom", 0.05, 1991, WriteCacheConfig(entries=5)
+        )
+        sys_key = ExperimentSpec("system", "ccom", 0.05, 1991, SystemConfig())
+        store.put(cache_key, make_stats())
+        store.put(wc_key, WriteCacheStats(writes=50, merged=20))
+        store.put(
+            sys_key,
+            SystemStats(l1=make_stats(), memory=TrafficMeter(fetches=7)),
+        )
+        return {"cache": cache_key, "write_cache": wc_key, "system": sys_key}
+
+    def test_round_trips_interleaved(self, store, populated):
+        from repro.buffers.write_cache import WriteCacheStats
+        from repro.hierarchy.system import SystemStats
+
+        assert isinstance(store.get(populated["cache"]), CacheStats)
+        assert isinstance(store.get(populated["write_cache"]), WriteCacheStats)
+        assert isinstance(store.get(populated["system"]), SystemStats)
+
+    def test_put_wrong_stats_type_rejected(self, store, populated):
+        with pytest.raises(TypeError):
+            store.put(populated["write_cache"], make_stats())
+
+    def test_stats_groups_by_kind(self, store, populated):
+        summary = store.stats()
+        assert summary["records"] == 3
+        assert summary["by_kind"] == {"cache": 1, "system": 1, "write_cache": 1}
+
+    def test_clear_removes_all_kinds(self, store, populated):
+        assert store.clear() == 3
+        assert len(store) == 0
+
+    def test_kind_schema_mismatch_is_a_miss(self, store, populated):
+        key = populated["write_cache"]
+        path = store.path_for(key)
+        record = json.loads(path.read_text(encoding="utf-8"))
+        record["kind_schema"] = record["kind_schema"] + 1
+        path.write_text(json.dumps(record), encoding="utf-8")
+        assert store.get(key) is None
+        assert store.telemetry.corrupt == 1
+        # The other kinds are untouched.
+        assert store.get(populated["cache"]) is not None
+        assert store.get(populated["system"]) is not None
+
+    def test_corrupt_record_of_one_kind_does_not_poison_others(
+        self, store, populated
+    ):
+        store.path_for(populated["system"]).write_text("{{{", encoding="utf-8")
+        kept, removed = store.gc()
+        assert (kept, removed) == (2, 1)
+        assert store.get(populated["cache"]) is not None
+        assert store.get(populated["write_cache"]) is not None
+        assert not store.path_for(populated["system"]).exists()
+        summary = store.stats()
+        assert summary["by_kind"] == {"cache": 1, "write_cache": 1}
+
+    def test_gc_drops_unregistered_kind_records(self, store, populated):
+        key = populated["cache"]
+        path = store.path_for(key)
+        record = json.loads(path.read_text(encoding="utf-8"))
+        record["kind"] = "retired_family"
+        path.write_text(json.dumps(record), encoding="utf-8")
+        # Reads of the proper kinds still work; gc removes only the orphan.
+        kept, removed = store.gc()
+        assert (kept, removed) == (2, 1)
+        assert store.get(populated["write_cache"]) is not None
+        assert store.get(populated["system"]) is not None
 
 
 class TestEnvironment:

@@ -5,8 +5,15 @@ import pytest
 from repro.cache.cache import Cache
 from repro.cache.config import CacheConfig
 from repro.cache.policies import WriteHitPolicy, WriteMissPolicy
-from repro.hierarchy.memory import MainMemory
-from repro.hierarchy.system import CacheLevelBackend, CacheSystem
+from repro.cache.stats import CacheStats
+from repro.hierarchy.memory import MainMemory, TrafficMeter
+from repro.hierarchy.system import (
+    CacheLevelBackend,
+    CacheSystem,
+    SystemConfig,
+    SystemStats,
+    simulate_system,
+)
 
 
 class TestCacheSystem:
@@ -78,3 +85,128 @@ class TestTwoLevel:
         l2 = Cache(CacheConfig(size=1024, line_size=16))
         CacheLevelBackend(l2).write_back(0x100, 16, dirty_mask=0xFFFF)
         assert l2.stats.writes == 2  # two aligned 8 B stores
+
+
+class TestSubWordWritebackExtents:
+    """Sub-word dirty extents must reach the lower level at exact width.
+
+    Regression: write_back used to round every extent up to a 4 B store,
+    inflating lower-level write traffic for byte- and halfword-granularity
+    dirty masks.  A metered write-through L2 exposes the exact byte count
+    of each store the backend issues.
+    """
+
+    @staticmethod
+    def metered_l2():
+        memory = MainMemory()
+        l2 = Cache(
+            CacheConfig(
+                size=1024,
+                line_size=16,
+                write_hit=WriteHitPolicy.WRITE_THROUGH,
+                write_miss=WriteMissPolicy.WRITE_AROUND,
+            ),
+            backend=memory,
+        )
+        return CacheLevelBackend(l2), l2, memory
+
+    def test_halfword_extent_is_one_two_byte_store(self):
+        backend, l2, memory = self.metered_l2()
+        backend.write_back(0x100, 16, dirty_mask=0x0030)  # bytes 4-5 dirty
+        assert l2.stats.writes == 1
+        assert memory.meter.write_through_bytes == 2
+
+    def test_single_dirty_byte_is_one_byte_store(self):
+        backend, l2, memory = self.metered_l2()
+        backend.write_back(0x100, 16, dirty_mask=0x0008)  # byte 3 dirty
+        assert l2.stats.writes == 1
+        assert memory.meter.write_through_bytes == 1
+
+    def test_misaligned_extent_splits_without_widening(self):
+        # Bytes 1-3 dirty: a 1 B store at 0x101 plus a 2 B store at 0x102;
+        # exactly three bytes cross the boundary, never four.
+        backend, l2, memory = self.metered_l2()
+        backend.write_back(0x100, 16, dirty_mask=0x000E)
+        assert l2.stats.writes == 2
+        assert memory.meter.write_through_bytes == 3
+
+    def test_aligned_word_extent_stays_one_store(self):
+        backend, l2, memory = self.metered_l2()
+        backend.write_back(0x100, 16, dirty_mask=0x00F0)  # bytes 4-7 dirty
+        assert l2.stats.writes == 1
+        assert memory.meter.write_through_bytes == 4
+
+
+class TestVictimComposition:
+    def test_victim_cache_reduces_memory_fetches(self, small_corpus):
+        trace = small_corpus["met"][:8000]
+        config = CacheConfig(size=1024, line_size=16)
+        plain = CacheSystem(config)
+        plain.run(trace)
+        with_victims = CacheSystem(config, victim_entries=4)
+        with_victims.run(trace)
+        stats = with_victims.system_stats()
+        assert stats.victim_cache is not None
+        assert stats.victim_cache.hits > 0
+        assert (
+            with_victims.memory_traffic.fetches < plain.memory_traffic.fetches
+        )
+
+
+class TestSystemStatsSerde:
+    def test_round_trip_bare(self):
+        stats = SystemStats(
+            l1=CacheStats(reads=10, writes=3), memory=TrafficMeter(fetches=4)
+        )
+        assert SystemStats.from_dict(stats.to_dict()) == stats
+
+    def test_round_trip_with_structures(self, small_corpus):
+        trace = small_corpus["ccom"][:5000]
+        system = CacheSystem(
+            CacheConfig(
+                size=1024, line_size=16, write_hit=WriteHitPolicy.WRITE_THROUGH
+            ),
+            write_cache_entries=5,
+        )
+        system.run(trace)
+        stats = system.system_stats()
+        assert stats.write_cache is not None
+        restored = SystemStats.from_dict(stats.to_dict())
+        assert restored == stats
+        assert restored.write_cache == stats.write_cache
+
+    def test_optional_fields_omitted_when_absent(self):
+        payload = SystemStats().to_dict()
+        assert set(payload) == {"l1", "memory"}
+
+    def test_unknown_field_raises(self):
+        payload = SystemStats().to_dict()
+        payload["victim_buffer"] = {}
+        with pytest.raises(ValueError):
+            SystemStats.from_dict(payload)
+
+
+class TestDerivedMeterFastPath:
+    """simulate_system's derived meter must match the composed hierarchy."""
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            CacheConfig(size=1024, line_size=16),
+            CacheConfig(size=4096, line_size=32),
+            CacheConfig(
+                size=1024,
+                line_size=16,
+                write_hit=WriteHitPolicy.WRITE_THROUGH,
+                write_miss=WriteMissPolicy.WRITE_AROUND,
+            ),
+        ],
+        ids=lambda config: config.name,
+    )
+    @pytest.mark.parametrize("flush", [True, False])
+    def test_fast_path_matches_composed_system(self, small_corpus, config, flush):
+        trace = small_corpus["yacc"][:5000]
+        fast = simulate_system(trace, SystemConfig(cache=config), flush=flush)
+        composed = CacheSystem(config)
+        composed.run(trace, flush=flush)
+        assert fast.to_dict() == composed.system_stats().to_dict()
