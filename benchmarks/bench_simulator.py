@@ -9,14 +9,17 @@ Two entry points:
 
 - As a script (``python benchmarks/bench_simulator.py``): a small smoke
   grid comparing the loop and vector engines across the four write-miss
-  policies, written to ``BENCH_simulator.json`` as refs/sec plus the
-  vector-over-loop speedup.  ``--check BASELINE`` compares the measured
-  *speedups* against a committed baseline and fails on a >30% regression
+  policies, plus a ``batch`` section timing a full figure-style
+  configuration grid through ``simulate_trace_batch`` against per-run
+  vector calls, written to ``BENCH_simulator.json`` as refs/sec plus the
+  speedups.  ``--check BASELINE`` compares the measured *speedups*
+  against a committed baseline and fails on a >30% regression
   (``--tolerance``).  Speedup ratios are compared rather than absolute
-  refs/sec because the ratio is what the vectorisation owns — absolute
-  throughput varies with the host, and a CI runner is not the machine the
-  baseline was recorded on.  ``--require-speedup X`` additionally demands
-  the default write-back configuration reach at least ``X``.
+  refs/sec because the ratio is what the vectorisation (and batching)
+  owns — absolute throughput varies with the host, and a CI runner is
+  not the machine the baseline was recorded on.  ``--require-speedup X``
+  additionally demands the default write-back configuration reach at
+  least ``X``.
 """
 
 import argparse
@@ -27,9 +30,10 @@ import time
 
 import pytest
 
+from repro.cache import vecsim
 from repro.cache.cache import Cache
 from repro.cache.config import CacheConfig
-from repro.cache.fastsim import simulate_trace
+from repro.cache.fastsim import simulate_trace, simulate_trace_batch
 from repro.cache.policies import WriteHitPolicy, WriteMissPolicy
 from repro.trace.corpus import load
 
@@ -44,6 +48,26 @@ SMOKE_CONFIGS = [
     ("wt-write-invalidate", WriteHitPolicy.WRITE_THROUGH, WriteMissPolicy.WRITE_INVALIDATE),
 ]
 DEFAULT_CONFIG = SMOKE_CONFIGS[0][0]
+
+
+def batch_grid():
+    """The figs 13-16 sweep shape: every smoke policy across the cache-size
+    sweep (16 B lines) and the line-size sweep (8 KB), deduplicated."""
+    grid = []
+    for _, hit, miss in SMOKE_CONFIGS:
+        for size_kb in (1, 2, 4, 8, 16, 32, 64, 128):
+            grid.append(
+                CacheConfig(
+                    size=size_kb * 1024, line_size=16, write_hit=hit, write_miss=miss
+                )
+            )
+        for line_size in (4, 8, 32, 64):
+            grid.append(
+                CacheConfig(
+                    size=8192, line_size=line_size, write_hit=hit, write_miss=miss
+                )
+            )
+    return grid
 
 
 @pytest.fixture(scope="module")
@@ -82,6 +106,19 @@ def test_reference_simulator_throughput(benchmark, trace):
 
     stats = benchmark(run)
     assert stats.fetches > 0
+
+
+def test_batch_grid_throughput(benchmark, trace):
+    # The batched sweep path: one call for the whole figure-style grid,
+    # cold plans each round so setup cost is charged to the batch.
+    grid = batch_grid()
+
+    def run():
+        vecsim.clear_plan_cache()
+        return simulate_trace_batch(trace, grid)
+
+    results = benchmark(run)
+    assert len(results) == len(grid)
 
 
 def test_trace_generation_throughput(benchmark):
@@ -124,7 +161,41 @@ def run_smoke_grid(workload="grr", scale=0.3, repeats=3):
             "vector_refs_per_sec": round(vector),
             "speedup": round(vector / loop, 2),
         }
+    report["batch"] = _bench_batch_grid(trace, repeats)
     return report
+
+
+def _bench_batch_grid(trace, repeats):
+    """Grid refs/sec: per-run vector calls vs one batched call.
+
+    Both sides start cold — the batch clears the plan cache each round —
+    so the batched speedup honestly includes plan construction, exactly
+    the cost a pool worker pays per (trace, grid) task.
+    """
+    grid = batch_grid()
+    grid_refs = len(trace) * len(grid)
+
+    single_best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        for config in grid:
+            simulate_trace(trace, config, backend="vector")
+        single_best = min(single_best, time.perf_counter() - started)
+
+    batch_best = float("inf")
+    for _ in range(repeats):
+        vecsim.clear_plan_cache()
+        started = time.perf_counter()
+        simulate_trace_batch(trace, grid)
+        batch_best = min(batch_best, time.perf_counter() - started)
+
+    return {
+        "grid_configs": len(grid),
+        "grid_refs": grid_refs,
+        "single_vector_refs_per_sec": round(grid_refs / single_best),
+        "batch_refs_per_sec": round(grid_refs / batch_best),
+        "speedup": round(single_best / batch_best, 2),
+    }
 
 
 def check_against_baseline(report, baseline, tolerance):
@@ -139,6 +210,16 @@ def check_against_baseline(report, baseline, tolerance):
             regressions.append(
                 f"{name}: speedup {measured['speedup']:.2f} < "
                 f"{floor:.2f} (baseline {recorded['speedup']:.2f} - {tolerance:.0%})"
+            )
+    recorded_batch = baseline.get("batch")
+    measured_batch = report.get("batch")
+    if recorded_batch is not None and measured_batch is not None:
+        floor = (1.0 - tolerance) * recorded_batch["speedup"]
+        if measured_batch["speedup"] < floor:
+            regressions.append(
+                f"batch: speedup {measured_batch['speedup']:.2f} < "
+                f"{floor:.2f} (baseline {recorded_batch['speedup']:.2f} - "
+                f"{tolerance:.0%})"
             )
     return regressions
 
@@ -185,6 +266,12 @@ def main(argv=None):
             f"vector {row['vector_refs_per_sec'] / 1e6:6.2f} Mref/s  "
             f"speedup {row['speedup']:.2f}x"
         )
+    batch = report["batch"]
+    print(
+        f"{'batch-grid':22s} single {batch['single_vector_refs_per_sec'] / 1e6:5.2f}"
+        f" Mref/s  batch {batch['batch_refs_per_sec'] / 1e6:6.2f} Mref/s  "
+        f"speedup {batch['speedup']:.2f}x ({batch['grid_configs']} configs)"
+    )
 
     failed = False
     if baseline is not None:

@@ -6,20 +6,28 @@ figure sweeps run six traces through dozens of configurations, so
 bit-identical to the reference :class:`repro.cache.cache.Cache` (a
 property the test suite enforces):
 
-- :mod:`repro.cache.vecsim` — whole-trace numpy array passes, for
-  stats-only direct-mapped configurations with lines up to 64 B;
+- :mod:`repro.cache.vecsim` — whole-trace numpy array passes, for every
+  stats-only direct-mapped configuration (wide lines use multiple
+  uint64 byte-mask lanes);
 - :func:`_simulate_direct_mapped` — a tight per-reference Python loop
-  (flat lists for tag/valid/dirty state, counters in locals), for
-  direct-mapped configurations the vector kernel does not cover;
+  (flat lists for tag/valid/dirty state, counters in locals), kept as a
+  differential check and explicit ``loop`` backend;
 - the reference ``Cache`` for everything else (set-associative,
   data-carrying, sectored).
 
 Set ``$REPRO_SIM_BACKEND`` (or pass ``backend=``) to ``loop``, ``vector``
 or ``reference`` to pin an engine — benchmarks use this to compare them;
 ``auto`` (the default) picks as above.
+
+Grid sweeps should prefer :func:`simulate_trace_batch`, which hands an
+entire list of configurations to :func:`vecsim.simulate_batch` so the
+trace-side passes are paid once per ``(line_size, num_sets)`` instead of
+once per run; unsupported configurations in the batch transparently take
+the per-run engines above.
 """
 
 import os
+from typing import List, Sequence
 
 from repro.cache import vecsim
 from repro.cache.cache import Cache
@@ -32,8 +40,8 @@ from repro.trace.trace import Trace
 #: Bump whenever a simulator change can alter the statistics produced for
 #: an unchanged (trace, config) pair.  The on-disk result store folds this
 #: into every content hash, so a bump invalidates all persisted results.
-#: The vectorised kernel is bit-identical to the loop, so it shares the
-#: loop's version.
+#: The vectorised kernel — single-run and batched — is bit-identical to
+#: the loop, so all engines share one version.
 SIMULATOR_VERSION = 1
 
 #: Environment variable pinning the simulation engine.
@@ -83,15 +91,41 @@ def simulate_trace(
         return _simulate_reference(trace, config, flush)
     if choice == "loop":
         return _simulate_direct_mapped(trace, config, flush)
-    if vecsim.supports(config):
-        return vecsim.simulate_direct_mapped(trace, config, flush)
-    if choice == "vector":
-        raise ConfigurationError(
-            f"backend 'vector' cannot simulate {config.name}: lines wider "
-            f"than {vecsim.MAX_LINE_SIZE} B exceed the kernel's uint64 "
-            "byte-mask lanes"
+    return vecsim.simulate_direct_mapped(trace, config, flush)
+
+
+def simulate_trace_batch(
+    trace: Trace,
+    configs: Sequence[CacheConfig],
+    flush: bool = True,
+    backend: str = None,
+) -> List[CacheStats]:
+    """Run ``trace`` through every configuration in ``configs``.
+
+    Returns one :class:`CacheStats` per config, in input order, each
+    bit-identical to ``simulate_trace(trace, config, flush, backend)``
+    for that config alone — the batched kernel shares the
+    config-independent trace passes, never the semantics.  Configurations
+    the vector kernel does not cover (set-associative, data-carrying,
+    sectored) fall back to per-run engines inside the batch; a pinned
+    ``backend`` other than ``auto``/``vector`` runs everything per-run.
+    """
+    choice = _resolve_backend(backend)
+    configs = list(configs)
+    results: List[CacheStats] = [None] * len(configs)
+    batchable = []
+    for index, config in enumerate(configs):
+        if choice in ("auto", "vector") and vecsim.supports(config):
+            batchable.append(index)
+        else:
+            results[index] = simulate_trace(trace, config, flush=flush, backend=choice)
+    if batchable:
+        batched = vecsim.simulate_batch(
+            trace, [configs[index] for index in batchable], flush
         )
-    return _simulate_direct_mapped(trace, config, flush)
+        for index, stats in zip(batchable, batched):
+            results[index] = stats
+    return results
 
 
 def _simulate_direct_mapped(trace: Trace, config: CacheConfig, flush: bool) -> CacheStats:

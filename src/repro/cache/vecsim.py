@@ -1,4 +1,4 @@
-"""Vectorised direct-mapped, stats-only simulation.
+"""Vectorised direct-mapped, stats-only simulation — single runs and batches.
 
 Replaces the per-reference Python loop of
 :func:`repro.cache.fastsim._simulate_direct_mapped` with whole-trace numpy
@@ -7,10 +7,10 @@ array passes.  The formulation (see ``docs/simulator_semantics.md``,
 
 1. **Segment expansion** — references wider than a line are split into
    per-line segments vectorised (``np.repeat`` + within-group offsets),
-   and ``set index``/``tag``/byte-``mask`` arrays are computed for the
-   whole stream at once.  Byte masks pack into one ``uint64`` lane per
-   segment, which bounds the supported line size at 64 B (the paper
-   sweeps 4-64 B).
+   and line-number/byte-``mask`` arrays are computed for the whole stream
+   at once.  Byte masks pack into one ``uint64`` lane per segment for
+   lines up to 64 B (the paper sweeps 4-64 B); wider lines use multiple
+   lanes, shape ``(segments, lanes)``.
 
 2. **Previous-reference link** — a stable sort by set index groups each
    set's segments contiguously while preserving program order inside the
@@ -29,14 +29,36 @@ array passes.  The formulation (see ``docs/simulator_semantics.md``,
    instead key their scans on the *last preceding load* (the only event
    that installs a line), which a running maximum provides.
 
+The work above factors cleanly along the configuration axes, which is
+what :func:`simulate_batch` exploits to run one trace against a whole
+grid of configurations:
+
+- a :class:`_TracePlan` depends only on ``(trace, line_size)`` — every
+  cache size and policy at one line size shares one segment expansion
+  and one set of byte masks;
+- a :class:`_SegmentStream` (the set-order plan) depends only on
+  ``(line_size, num_sets)`` — the stable sort permutation, group
+  boundaries and tags are shared by all six write-policy combinations at
+  one geometry;
+- only the cheap per-config array expressions (hit classification,
+  victim/dirty scans, traffic reductions) run once per configuration.
+
+Trace plans are cached across :func:`simulate_batch` calls in a small
+identity-keyed LRU (:data:`PLAN_CACHE_CAP` traces), so a worker batching
+several groups over one shared-memory trace pays for expansion once.
+
 Results are bit-identical to :class:`repro.cache.cache.Cache` and to the
-``fastsim`` loop — the differential suite in ``tests/cache/test_vecsim.py``
-enforces this stat-for-stat across every policy combination.
-Configurations outside :func:`supports` (set-associative, data-carrying,
-sectored, or lines wider than 64 B) take the existing engines instead.
+``fastsim`` loop — the differential suites in
+``tests/cache/test_vecsim.py`` and ``tests/cache/test_vecsim_batch.py``
+enforce this stat-for-stat across every policy combination, and
+per-stat equality between :func:`simulate_batch` and per-run
+:func:`simulate_direct_mapped`.  Configurations outside :func:`supports`
+(set-associative, data-carrying, sectored) take the existing engines
+instead.
 """
 
-from typing import Optional, Tuple
+from collections import OrderedDict
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -46,12 +68,25 @@ from repro.cache.stats import CacheStats
 from repro.trace.events import WRITE
 from repro.trace.trace import Trace
 
-#: Widest line whose byte mask fits one uint64 lane.
-MAX_LINE_SIZE = 64
+#: Bytes covered by one uint64 byte-mask lane.  Lines up to this wide use
+#: the flat single-lane fast path; wider lines pack ``line_size // 64``
+#: lanes per segment.
+LANE_BYTES = 64
 
 #: ``_SIZE_MASKS[k]`` = mask of the low ``k`` bytes, as a uint64 lane.
 _SIZE_MASKS = np.array(
-    [(1 << size) - 1 for size in range(MAX_LINE_SIZE + 1)], dtype=np.uint64
+    [(1 << size) - 1 for size in range(LANE_BYTES + 1)], dtype=np.uint64
+)
+
+#: How many ``(trace, line_size)`` plans :func:`simulate_batch` keeps
+#: alive between calls.  Entries hold a strong reference to their trace
+#: (which also pins the ``id()`` the key is built from), so the cap
+#: bounds memory; a full figure grid needs one entry per line size of
+#: the trace currently being batched.
+PLAN_CACHE_CAP = 4
+
+_PLAN_CACHE: "OrderedDict[Tuple[int, int], Tuple[Trace, '_TracePlan']]" = (
+    OrderedDict()
 )
 
 
@@ -61,23 +96,96 @@ def supports(config: CacheConfig) -> bool:
         config.is_direct_mapped
         and not config.store_data
         and not config.subblock_fetch
-        and config.line_size <= MAX_LINE_SIZE
     )
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached trace plan (benchmarks use this for cold timings)."""
+    _PLAN_CACHE.clear()
+
+
+def _cached_plan(trace: Trace, line_size: int) -> "_TracePlan":
+    """The ``(trace, line_size)`` plan, via the cross-batch LRU cache.
+
+    Keys use ``id(trace)``; the entry keeps the trace referenced so a
+    recycled id can never alias a different trace (the identity check
+    below is then exact).
+    """
+    key = (id(trace), line_size)
+    entry = _PLAN_CACHE.get(key)
+    if entry is not None and entry[0] is trace:
+        _PLAN_CACHE.move_to_end(key)
+        return entry[1]
+    plan = _TracePlan(trace, line_size)
+    _PLAN_CACHE[key] = (trace, plan)
+    while len(_PLAN_CACHE) > PLAN_CACHE_CAP:
+        _PLAN_CACHE.popitem(last=False)
+    return plan
 
 
 def simulate_direct_mapped(trace: Trace, config: CacheConfig, flush: bool) -> CacheStats:
     """Run ``trace`` through a direct-mapped stats-only cache, vectorised.
 
     The caller (:func:`repro.cache.fastsim.simulate_trace`) guarantees
-    :func:`supports`; this function assumes it.
+    :func:`supports`; this function assumes it.  Stateless: plans are
+    built fresh (the batch entry point :func:`simulate_batch` is the one
+    that amortises them).
     """
     assert supports(config), "caller must check vecsim.supports(config)"
+    if len(trace) == 0:
+        return _empty_stats(trace, config)
+    plan = _TracePlan(trace, config.line_size)
+    return _simulate_on_plan(plan, plan.stream(config.num_sets), config, flush)
+
+
+def simulate_batch(
+    trace: Trace, configs: Sequence[CacheConfig], flush: bool = True
+) -> List[CacheStats]:
+    """Simulate one trace against a whole grid of configurations.
+
+    Returns one :class:`CacheStats` per config, in input order, each
+    bit-identical to what :func:`simulate_direct_mapped` produces for
+    that ``(trace, config, flush)`` alone.  Configurations are grouped
+    internally so that every config at one line size shares one trace
+    plan and every config at one ``(line_size, num_sets)`` geometry
+    shares one set-order plan; only the per-policy classification runs
+    per config.
+    """
+    configs = list(configs)
+    for config in configs:
+        assert supports(config), "caller must check vecsim.supports(config)"
+    if len(trace) == 0:
+        return [_empty_stats(trace, config) for config in configs]
+    results: List[Optional[CacheStats]] = [None] * len(configs)
+    by_line_size = {}
+    for index, config in enumerate(configs):
+        by_line_size.setdefault(config.line_size, []).append(index)
+    for line_size, indices in by_line_size.items():
+        plan = _cached_plan(trace, line_size)
+        by_num_sets = {}
+        for index in indices:
+            by_num_sets.setdefault(configs[index].num_sets, []).append(index)
+        for num_sets, group in by_num_sets.items():
+            stream = plan.stream(num_sets)
+            for index in group:
+                results[index] = _simulate_on_plan(
+                    plan, stream, configs[index], flush
+                )
+    return results
+
+
+def _empty_stats(trace: Trace, config: CacheConfig) -> CacheStats:
     stats = CacheStats(line_size=config.line_size)
     stats.instructions = trace.instruction_count
-    if len(trace) == 0:
-        return stats
+    return stats
 
-    stream = _SegmentStream(trace, config)
+
+def _simulate_on_plan(
+    plan: "_TracePlan", stream: "_SegmentStream", config: CacheConfig, flush: bool
+) -> CacheStats:
+    """The per-config work: classification plus the shared counter tail."""
+    stats = CacheStats(line_size=config.line_size)
+    stats.instructions = plan.instructions
     miss_policy = config.write_miss
     if miss_policy in (WriteMissPolicy.FETCH_ON_WRITE, WriteMissPolicy.WRITE_VALIDATE):
         _classify_allocating(stream, config, flush, stats)
@@ -86,11 +194,10 @@ def simulate_direct_mapped(trace: Trace, config: CacheConfig, flush: bool) -> Ca
     else:  # write-invalidate
         _classify_write_invalidate(stream, config, flush, stats)
 
-    kinds = trace.kind_array
-    stats.writes = int(np.count_nonzero(kinds == WRITE))
-    stats.reads = len(trace) - stats.writes
-    stats.read_line_accesses = int(np.count_nonzero(~stream.store))
-    stats.write_line_accesses = int(np.count_nonzero(stream.store))
+    stats.writes = plan.writes
+    stats.reads = plan.reads
+    stats.read_line_accesses = plan.load_segments
+    stats.write_line_accesses = plan.store_segments
     stats.fetches = (
         stats.fetches_for_reads
         + stats.fetches_for_partial_reads
@@ -100,29 +207,78 @@ def simulate_direct_mapped(trace: Trace, config: CacheConfig, flush: bool) -> Ca
     return stats
 
 
-class _SegmentStream:
-    """The whole trace as per-line segments, grouped by set.
+def _lane_count(line_size: int) -> int:
+    return (line_size + LANE_BYTES - 1) // LANE_BYTES
 
-    All arrays are in *grouped order*: a stable sort by set index, so each
-    set's segments are contiguous and keep their program order.  Segment
-    ``i``'s predecessor within its set (when ``first_in_set[i]`` is
-    False) is simply segment ``i - 1``.
+
+def _segment_masks(size: np.ndarray, offset: np.ndarray, lanes: int) -> np.ndarray:
+    """Byte masks for segments of ``size`` bytes at ``offset`` in a line.
+
+    One flat uint64 per segment when the line fits a single lane, else
+    ``(segments, lanes)`` — lane ``l`` covers bytes ``[64l, 64l+64)``.
+    """
+    if lanes == 1:
+        return _SIZE_MASKS[size] << offset.astype(np.uint64)
+    lane_base = np.arange(lanes, dtype=np.int64) * LANE_BYTES
+    low = np.clip(offset[:, None] - lane_base, 0, LANE_BYTES)
+    high = np.clip(offset[:, None] + size[:, None] - lane_base, 0, LANE_BYTES)
+    width = high - low
+    return np.where(
+        width > 0, _SIZE_MASKS[width] << low.astype(np.uint64), np.uint64(0)
+    )
+
+
+def _full_line_masks(line_size: int):
+    """The all-bytes-valid mask in the same shape segment masks use."""
+    lanes = _lane_count(line_size)
+    if lanes == 1:
+        return np.uint64((1 << line_size) - 1)
+    # Lines wider than a lane are power-of-two multiples of it, so every
+    # lane is completely covered.
+    return np.full(lanes, np.uint64(0xFFFFFFFFFFFFFFFF))
+
+
+def _expand(flags: np.ndarray, masks: np.ndarray) -> np.ndarray:
+    """Per-segment booleans broadcast against ``masks``' lane shape."""
+    return flags if masks.ndim == 1 else flags[:, None]
+
+
+def _any_lane(rows: np.ndarray) -> np.ndarray:
+    """Collapse a per-lane boolean array back to one flag per segment."""
+    return rows if rows.ndim == 1 else rows.any(axis=1)
+
+
+class _TracePlan:
+    """Everything about one ``(trace, line_size)`` pair that no other
+    configuration parameter can change.
+
+    Holds the per-line segment expansion in program order — line numbers
+    (the address above the offset bits), sizes, offsets, byte masks and
+    store flags — plus the trace-level counter totals.  Every cache size
+    and policy at this line size shares one instance; the per-geometry
+    set-order plans are cached on it (:meth:`stream`).
     """
 
     __slots__ = (
-        "set_index",
-        "tag",
+        "line_size",
+        "lanes",
+        "line_number",
         "store",
-        "mask",
         "size",
         "offset",
-        "first_in_set",
-        "last_in_set",
-        "position",
+        "mask",
+        "instructions",
+        "reads",
+        "writes",
+        "load_segments",
+        "store_segments",
+        "store_bytes",
+        "_streams",
     )
 
-    def __init__(self, trace: Trace, config: CacheConfig) -> None:
-        line_size = config.line_size
+    def __init__(self, trace: Trace, line_size: int) -> None:
+        self.line_size = line_size
+        self.lanes = _lane_count(line_size)
         addresses = trace.address_array
         sizes = trace.size_array.astype(np.int64)
         stores = trace.kind_array == WRITE
@@ -146,29 +302,126 @@ class _SegmentStream:
             seg_size = sizes
             seg_store = stores
 
-        offset = seg_address & config.offset_mask
-        set_index = (seg_address >> config.offset_bits) & config.index_mask
-        tag = seg_address >> (config.offset_bits + config.index_bits)
+        offset_bits = line_size.bit_length() - 1
+        self.line_number = seg_address >> offset_bits
+        self.offset = seg_address & (line_size - 1)
+        self.size = seg_size
+        self.store = seg_store
+        self.mask = _segment_masks(self.size, self.offset, self.lanes)
+        self.instructions = trace.instruction_count
+        self.writes = int(np.count_nonzero(stores))
+        self.reads = len(trace) - self.writes
+        self.store_segments = int(np.count_nonzero(seg_store))
+        self.load_segments = len(seg_store) - self.store_segments
+        self.store_bytes = int(seg_size[seg_store].sum(dtype=np.int64))
+        self._streams = {}
 
+    def stream(self, num_sets: int) -> "_SegmentStream":
+        """The cached set-order plan for ``num_sets`` frames."""
+        stream = self._streams.get(num_sets)
+        if stream is None:
+            stream = self._streams[num_sets] = _SegmentStream(self, num_sets)
+        return stream
+
+
+class _SegmentStream:
+    """The set-order plan: the trace's segments grouped by set.
+
+    All arrays are in *grouped order*: a stable sort by set index, so each
+    set's segments are contiguous and keep their program order.  Segment
+    ``i``'s predecessor within its set (when ``first_in_set[i]`` is
+    False) is simply segment ``i - 1``.  Depends only on the plan's line
+    size and ``num_sets`` — the write policies share it, including the
+    derived classification state (:meth:`alloc_state` and friends), which
+    is computed lazily once per geometry so the per-config work of a
+    batch reduces to counter arithmetic.
+    """
+
+    __slots__ = (
+        "line_size",
+        "set_index",
+        "tag",
+        "store",
+        "mask",
+        "size",
+        "offset",
+        "first_in_set",
+        "last_in_set",
+        "position",
+        "store_count",
+        "load_count",
+        "store_bytes",
+        "nonempty_sets",
+        "_set_start",
+        "_alloc",
+        "_around",
+        "_invalidate",
+        "_validate",
+    )
+
+    def __init__(self, plan: _TracePlan, num_sets: int) -> None:
+        index_bits = num_sets.bit_length() - 1
+        set_index = plan.line_number & (num_sets - 1)
         order = np.argsort(set_index, kind="stable")
+        self.line_size = plan.line_size
         self.set_index = set_index[order]
-        self.tag = tag[order]
-        self.store = seg_store[order]
-        self.size = seg_size[order]
-        self.offset = offset[order]
-        self.mask = _SIZE_MASKS[self.size] << self.offset.astype(np.uint64)
+        self.tag = plan.line_number[order] >> index_bits
+        self.store = plan.store[order]
+        self.size = plan.size[order]
+        self.offset = plan.offset[order]
+        self.mask = plan.mask[order]
         count = len(order)
         boundary = self.set_index[1:] != self.set_index[:-1]
         self.first_in_set = np.concatenate(([True], boundary))
         self.last_in_set = np.concatenate((boundary, [True]))
         self.position = np.arange(count, dtype=np.int64)
+        self.store_count = plan.store_segments
+        self.load_count = plan.load_segments
+        self.store_bytes = plan.store_bytes
+        self.nonempty_sets = int(np.count_nonzero(self.first_in_set))
+        self._set_start = None
+        self._alloc = None
+        self._around = None
+        self._invalidate = None
+        self._validate = {}
 
     def __len__(self) -> int:
         return len(self.tag)
 
     def set_start(self) -> np.ndarray:
         """Index of the first segment of each segment's set group."""
-        return np.maximum.accumulate(np.where(self.first_in_set, self.position, 0))
+        if self._set_start is None:
+            self._set_start = np.maximum.accumulate(
+                np.where(self.first_in_set, self.position, 0)
+            )
+        return self._set_start
+
+    def alloc_state(self) -> "_AllocState":
+        """Shared classification of the allocating policies (cached)."""
+        if self._alloc is None:
+            self._alloc = _AllocState(self)
+        return self._alloc
+
+    def validate_state(self, granularity: int) -> "_ValidateState":
+        """Write-validate extras at one valid granularity (cached)."""
+        state = self._validate.get(granularity)
+        if state is None:
+            state = self._validate[granularity] = _ValidateState(
+                self, self.alloc_state(), granularity
+            )
+        return state
+
+    def around_state(self) -> "_AroundState":
+        """Write-around classification (cached; policy-parameter-free)."""
+        if self._around is None:
+            self._around = _AroundState(self)
+        return self._around
+
+    def invalidate_state(self) -> "_InvalidateState":
+        """Write-invalidate classification (cached; policy-parameter-free)."""
+        if self._invalidate is None:
+            self._invalidate = _InvalidateState(self)
+        return self._invalidate
 
 
 def _shifted(values: np.ndarray, fill) -> np.ndarray:
@@ -183,14 +436,17 @@ def _segmented_or_scan(values: np.ndarray, segment_ids: np.ndarray) -> np.ndarra
     """Inclusive bitwise-OR prefix scan, restarting at segment boundaries.
 
     Hillis-Steele doubling: ``log2(n)`` whole-array passes; segments must
-    be contiguous runs of equal ``segment_ids``.
+    be contiguous runs of equal ``segment_ids``.  ``values`` may carry a
+    trailing lane axis.
     """
     out = values.copy()
     count = len(out)
     shift = 1
     while shift < count:
         same = segment_ids[shift:] == segment_ids[:-shift]
-        np.copyto(out[shift:], out[:-shift] | out[shift:], where=same)
+        np.copyto(
+            out[shift:], out[:-shift] | out[shift:], where=_expand(same, out)
+        )
         shift <<= 1
     return out
 
@@ -211,127 +467,215 @@ def _counts_since_segment_start(
     return counts + flags if inclusive else counts
 
 
-def _count_dirty_victims(
-    victim_masks: np.ndarray, line_size: int, subblock_writeback: bool
-) -> Tuple[int, int, int]:
-    """(dirty victims, dirty bytes, transferred bytes) over victim masks."""
-    dirty = victim_masks[victim_masks != 0]
-    dirty_count = len(dirty)
-    dirty_bytes = int(np.bitwise_count(dirty).sum(dtype=np.int64))
-    transferred = dirty_bytes if subblock_writeback else dirty_count * line_size
-    return dirty_count, dirty_bytes, transferred
+def _dirty_mask_totals(masks: np.ndarray) -> Tuple[int, int]:
+    """(dirty lines, dirty bytes) over an array of per-line dirty masks."""
+    if masks.ndim == 1:
+        dirty = masks[masks != 0]
+    else:
+        dirty = masks[(masks != 0).any(axis=1)]
+    return len(dirty), int(np.bitwise_count(dirty).sum(dtype=np.int64))
 
 
 # ---------------------------------------------------------------------------
-# Allocating policies: fetch-on-write and write-validate.
+# Per-geometry classification state.
 #
-# Every segment — load or store, hit or miss — leaves its own tag
-# resident, so maximal same-(set, tag) runs in grouped order are exactly
-# the lifetimes of cache lines, and every run start is a miss (a victim
-# when the set was already occupied).
+# Almost everything the classifiers derive depends only on the stream —
+# not on the write policy being classified — so it is computed once per
+# geometry and cached on the stream (see the state accessors on
+# :class:`_SegmentStream`).  The ``_classify_*`` functions below then
+# reduce to counter arithmetic over these cached numbers, which is what
+# makes adding one more configuration to a batch nearly free.
 # ---------------------------------------------------------------------------
+
+
+class _AllocState:
+    """Shared classification of the allocating policies at one geometry.
+
+    Fetch-on-write and write-validate both install a line on every miss
+    — load or store — so their tag/run structure is identical, and it is
+    independent of the write-hit policy too (valid/dirty bits never feed
+    back into tags).  Maximal same-(set, tag) runs in grouped order are
+    exactly the lifetimes of cache lines, and every run start is a miss
+    (a victim when the set was already occupied).
+    """
+
+    __slots__ = (
+        "stream",
+        "tag_hit",
+        "run_start",
+        "run_id",
+        "victim_at",
+        "load_tag_hits",
+        "read_misses",
+        "write_hits",
+        "write_misses",
+        "victims",
+        "_writeback",
+    )
+
+    def __init__(self, stream: _SegmentStream) -> None:
+        store = stream.store
+        load = ~store
+        self.stream = stream
+        self.tag_hit = ~stream.first_in_set & (stream.tag == _shifted(stream.tag, -1))
+        self.run_start = ~self.tag_hit
+        self.run_id = np.cumsum(self.run_start)
+        self.victim_at = self.run_start & ~stream.first_in_set
+        self.load_tag_hits = int(np.count_nonzero(load & self.tag_hit))
+        self.read_misses = int(np.count_nonzero(load & self.run_start))
+        self.write_hits = int(np.count_nonzero(store & self.tag_hit))
+        self.write_misses = int(np.count_nonzero(store & self.run_start))
+        self.victims = int(np.count_nonzero(self.victim_at))
+        self._writeback = None
+
+    def writeback(self) -> "_WritebackState":
+        """The dirty-mask bookkeeping, needed only by write-back configs."""
+        if self._writeback is None:
+            self._writeback = _WritebackState(self.stream, self)
+        return self._writeback
+
+
+class _WritebackState:
+    """Dirty-line accounting for the allocating policies (write-back).
+
+    Dirty-byte masks accumulate by OR over each run's stores, so the mask
+    a victim (or a flushed line) carries is its whole run's store-mask OR
+    — one ``reduceat`` over run boundaries, no prefix scan.  Whether a
+    store hit lands on an already-dirty line needs only *existence* of an
+    earlier store in the run, a cumulative count.  Everything here is
+    policy-independent; subblock-writeback transfer bytes derive from the
+    (count, bytes) pairs arithmetically.
+    """
+
+    __slots__ = (
+        "writes_to_dirty",
+        "victim_dirty_lines",
+        "victim_dirty_bytes",
+        "flush_dirty_lines",
+        "flush_dirty_bytes",
+    )
+
+    def __init__(self, stream: _SegmentStream, alloc: _AllocState) -> None:
+        store = stream.store
+        run_dirty = np.bitwise_or.reduceat(
+            np.where(_expand(store, stream.mask), stream.mask, np.uint64(0)),
+            np.flatnonzero(alloc.run_start),
+            axis=0,
+        )
+        stores_before = _counts_since_segment_start(
+            store, alloc.run_start, stream.position, inclusive=False
+        )
+        self.writes_to_dirty = int(
+            np.count_nonzero(store & alloc.tag_hit & (stores_before > 0))
+        )
+        # A victim's run is the one *preceding* the run its eviction
+        # starts; run ids are 1-based, so that is run_dirty[run_id - 2].
+        self.victim_dirty_lines, self.victim_dirty_bytes = _dirty_mask_totals(
+            run_dirty[alloc.run_id[alloc.victim_at] - 2]
+        )
+        self.flush_dirty_lines, self.flush_dirty_bytes = _dirty_mask_totals(
+            run_dirty[alloc.run_id[stream.last_in_set] - 1]
+        )
+
+
+class _ValidateState:
+    """Write-validate extras at one (geometry, valid granularity).
+
+    Valid-byte masks: a run starts fully valid (load fetch, or the
+    ineligible-store fetch fallback) or with just the written bytes (a
+    validate allocation); stores OR their bytes in afterwards.  A load
+    needing bytes outside the scanned mask is a partial miss; its refill
+    makes the line fully valid, so only the first such load per run is a
+    real partial — later "candidates" hit.
+    """
+
+    __slots__ = ("allocations", "partial_reads")
+
+    def __init__(
+        self, stream: _SegmentStream, alloc: _AllocState, granularity: int
+    ) -> None:
+        store = stream.store
+        load = ~store
+        granule_mask = granularity - 1
+        eligible = (
+            store
+            & ((stream.offset & granule_mask) == 0)
+            & ((stream.size & granule_mask) == 0)
+        )
+        self.allocations = int(np.count_nonzero(eligible & alloc.run_start))
+        full = _full_line_masks(stream.line_size)
+        contribution = np.where(
+            _expand(alloc.run_start, stream.mask),
+            np.where(_expand(eligible, stream.mask), stream.mask, full),
+            np.where(_expand(store, stream.mask), stream.mask, np.uint64(0)),
+        )
+        valid_scan = _segmented_or_scan(contribution, alloc.run_id)
+        valid_before = np.where(
+            _expand(alloc.run_start, stream.mask),
+            np.uint64(0),
+            _shifted(valid_scan, np.uint64(0)),
+        )
+        uncovered = _any_lane((valid_before & stream.mask) != stream.mask)
+        candidate = load & alloc.tag_hit & uncovered
+        self.partial_reads = len(np.unique(alloc.run_id[candidate]))
 
 
 def _classify_allocating(
     stream: _SegmentStream, config: CacheConfig, flush: bool, stats: CacheStats
 ) -> None:
     validate = config.write_miss is WriteMissPolicy.WRITE_VALIDATE
-    write_back = config.is_write_back
-    store = stream.store
-    load = ~store
+    state = stream.alloc_state()
 
-    tag_hit = ~stream.first_in_set & (stream.tag == _shifted(stream.tag, -1))
-    run_start = ~tag_hit
-    run_id = np.cumsum(run_start)
-
+    stats.read_misses = state.read_misses
+    stats.fetches_for_reads = state.read_misses
+    stats.write_hits = state.write_hits
+    stats.write_misses = state.write_misses
+    stats.victims = state.victims
     if validate:
-        granule_mask = config.valid_granularity - 1
-        eligible = (
-            store
-            & ((stream.offset & granule_mask) == 0)
-            & ((stream.size & granule_mask) == 0)
+        vstate = stream.validate_state(config.valid_granularity)
+        stats.validate_allocations = vstate.allocations
+        stats.read_partial_misses = vstate.partial_reads
+        stats.fetches_for_partial_reads = vstate.partial_reads
+    stats.fetches_for_writes = state.write_misses - stats.validate_allocations
+    stats.read_hits = state.load_tag_hits - stats.read_partial_misses
+
+    if config.is_write_back:
+        wb = state.writeback()
+        stats.writes_to_dirty_lines = wb.writes_to_dirty
+        stats.dirty_victims = wb.victim_dirty_lines
+        stats.dirty_victim_dirty_bytes = wb.victim_dirty_bytes
+        stats.writebacks = wb.victim_dirty_lines
+        stats.writeback_dirty_bytes = wb.victim_dirty_bytes
+        stats.writeback_bytes = (
+            wb.victim_dirty_bytes
+            if config.subblock_dirty_writeback
+            else wb.victim_dirty_lines * config.line_size
         )
     else:
-        eligible = np.zeros(len(stream), dtype=bool)
-
-    load_tag_hits = int(np.count_nonzero(load & tag_hit))
-    stats.read_misses = int(np.count_nonzero(load & run_start))
-    stats.fetches_for_reads = stats.read_misses
-    stats.write_hits = int(np.count_nonzero(store & tag_hit))
-    stats.write_misses = int(np.count_nonzero(store & run_start))
-    stats.validate_allocations = int(np.count_nonzero(eligible & run_start))
-    stats.fetches_for_writes = stats.write_misses - stats.validate_allocations
-
-    # Dirty-byte masks accumulate by OR over each run's stores, so the
-    # mask a victim (or a flushed line) carries is its whole run's
-    # store-mask OR — one reduceat over run boundaries, no prefix scan.
-    # Whether a store hit lands on an already-dirty line needs only
-    # *existence* of an earlier store in the run, a cumulative count.
-    victim_at = run_start & ~stream.first_in_set
-    stats.victims = int(np.count_nonzero(victim_at))
-    if write_back:
-        run_dirty = np.bitwise_or.reduceat(
-            np.where(store, stream.mask, np.uint64(0)), np.flatnonzero(run_start)
-        )
-        stores_before = _counts_since_segment_start(
-            store, run_start, stream.position, inclusive=False
-        )
-        stats.writes_to_dirty_lines = int(
-            np.count_nonzero(store & tag_hit & (stores_before > 0))
-        )
-        # A victim's run is the one *preceding* the run its eviction
-        # starts; run ids are 1-based, so that is run_dirty[run_id - 2].
-        dirty_count, dirty_bytes, transferred = _count_dirty_victims(
-            run_dirty[run_id[victim_at] - 2],
-            config.line_size,
-            config.subblock_dirty_writeback,
-        )
-        stats.dirty_victims = dirty_count
-        stats.dirty_victim_dirty_bytes = dirty_bytes
-        stats.writebacks = dirty_count
-        stats.writeback_dirty_bytes = dirty_bytes
-        stats.writeback_bytes = transferred
-    else:
-        stats.write_throughs = int(np.count_nonzero(store))
-        stats.write_through_bytes = int(stream.size[store].sum(dtype=np.int64))
-
-    if validate:
-        # Valid-byte masks: a run starts fully valid (load fetch, or the
-        # ineligible-store fetch fallback) or with just the written bytes
-        # (a validate allocation); stores OR their bytes in afterwards.
-        # A load needing bytes outside the scanned mask is a partial
-        # miss; its refill makes the line fully valid, so only the first
-        # such load per run is a real partial — later "candidates" hit.
-        full = np.uint64(config.full_line_mask)
-        contribution = np.where(
-            run_start,
-            np.where(eligible, stream.mask, full),
-            np.where(store, stream.mask, np.uint64(0)),
-        )
-        valid_scan = _segmented_or_scan(contribution, run_id)
-        valid_before = np.where(run_start, np.uint64(0), _shifted(valid_scan, np.uint64(0)))
-        candidate = load & tag_hit & ((valid_before & stream.mask) != stream.mask)
-        stats.read_partial_misses = len(np.unique(run_id[candidate]))
-        stats.fetches_for_partial_reads = stats.read_partial_misses
-    stats.read_hits = load_tag_hits - stats.read_partial_misses
+        stats.write_throughs = stream.store_count
+        stats.write_through_bytes = stream.store_bytes
 
     if flush:
-        stats.flushed_lines = int(np.count_nonzero(stream.last_in_set))
-        if write_back:
-            final_dirty = run_dirty[run_id[stream.last_in_set] - 1]
-            dirty_count, dirty_bytes, transferred = _count_dirty_victims(
-                final_dirty, config.line_size, config.subblock_dirty_writeback
+        # Under an allocating policy every touched set ends with a valid
+        # resident line.
+        stats.flushed_lines = stream.nonempty_sets
+        if config.is_write_back:
+            wb = state.writeback()
+            stats.flushed_dirty_lines = wb.flush_dirty_lines
+            stats.flushed_dirty_bytes = wb.flush_dirty_bytes
+            stats.flush_writeback_bytes = (
+                wb.flush_dirty_bytes
+                if config.subblock_dirty_writeback
+                else wb.flush_dirty_lines * config.line_size
             )
-            stats.flushed_dirty_lines = dirty_count
-            stats.flushed_dirty_bytes = dirty_bytes
-            stats.flush_writeback_bytes = transferred
 
 
 # ---------------------------------------------------------------------------
 # No-allocate policies: write-around and write-invalidate (write-through
 # only).  Loads are the only installing events, so the resident line is
 # keyed on the last preceding load of the set — a running maximum over
-# load positions.
+# load positions.  Neither policy has any tunable beyond the geometry, so
+# their entire classification is one cached state per stream.
 # ---------------------------------------------------------------------------
 
 
@@ -347,83 +691,118 @@ def _lead_load(stream: _SegmentStream) -> Tuple[np.ndarray, np.ndarray, np.ndarr
     return lead, has_lead, set_start
 
 
+class _AroundState:
+    __slots__ = ("write_hits", "read_hits", "victims", "flushed_lines")
+
+    def __init__(self, stream: _SegmentStream) -> None:
+        store = stream.store
+        load = ~store
+        lead, has_lead, set_start = _lead_load(stream)
+        lead_tag = stream.tag[np.maximum(lead, 0)]
+
+        # A store hits iff the frame holds the line the last load
+        # installed.
+        store_hit = store & has_lead & (lead_tag == stream.tag)
+        self.write_hits = int(np.count_nonzero(store_hit))
+
+        # A load sees the line installed by the previous load (element
+        # i-1's lead); stores in between never disturbed it.
+        lead_prev = _shifted(lead, -1)
+        resident_prev = ~stream.first_in_set & (lead_prev >= set_start)
+        load_hit = (
+            load & resident_prev & (stream.tag[np.maximum(lead_prev, 0)] == stream.tag)
+        )
+        self.read_hits = int(np.count_nonzero(load_hit))
+        self.victims = int(np.count_nonzero(load & resident_prev & ~load_hit))
+        self.flushed_lines = len(np.unique(stream.set_index[load]))
+
+
+class _InvalidateState:
+    __slots__ = (
+        "write_hits",
+        "invalidations",
+        "read_hits",
+        "victims",
+        "flushed_lines",
+    )
+
+    def __init__(self, stream: _SegmentStream) -> None:
+        store = stream.store
+        load = ~store
+        lead, has_lead, set_start = _lead_load(stream)
+        lead_tag = stream.tag[np.maximum(lead, 0)]
+
+        # Segments sharing a lead load form a group over which the
+        # resident line is that load's tag — until the first store to a
+        # *different* tag invalidates the frame (the concurrent data
+        # write corrupted it).  Segments before a set's first load get a
+        # per-set sentinel group in which nothing is ever resident.  "Has
+        # the frame been invalidated yet" is just a count of mismatching
+        # stores so far in the group.
+        group = np.where(has_lead, lead, -1 - stream.set_index)
+        group_start = np.concatenate(([True], group[1:] != group[:-1]))
+        mismatch = store & has_lead & (stream.tag != lead_tag)
+        mismatches_so_far = _counts_since_segment_start(
+            mismatch, group_start, stream.position, inclusive=True
+        )
+
+        # A store hits while its tag is still resident: same tag as the
+        # lead load and no invalidating store earlier in the group.
+        store_hit = (
+            store & has_lead & (stream.tag == lead_tag) & (mismatches_so_far == 0)
+        )
+        self.write_hits = int(np.count_nonzero(store_hit))
+        # One invalidation per group that mismatches at all — i.e. per
+        # first mismatch, the one whose inclusive count is exactly 1.
+        self.invalidations = int(np.count_nonzero(mismatch & (mismatches_so_far == 1)))
+
+        # A load consults the state as of element i-1: the previous
+        # load's line survives iff its group saw no mismatching store.
+        lead_prev = _shifted(lead, -1)
+        resident_prev = (
+            ~stream.first_in_set
+            & (lead_prev >= set_start)
+            & (_shifted(mismatches_so_far, 0) == 0)
+        )
+        load_hit = (
+            load & resident_prev & (stream.tag[np.maximum(lead_prev, 0)] == stream.tag)
+        )
+        self.read_hits = int(np.count_nonzero(load_hit))
+        self.victims = int(np.count_nonzero(load & resident_prev & ~load_hit))
+        final_valid = has_lead[stream.last_in_set] & (
+            mismatches_so_far[stream.last_in_set] == 0
+        )
+        self.flushed_lines = int(np.count_nonzero(final_valid))
+
+
 def _classify_write_around(
     stream: _SegmentStream, config: CacheConfig, flush: bool, stats: CacheStats
 ) -> None:
-    store = stream.store
-    load = ~store
-    lead, has_lead, set_start = _lead_load(stream)
-    lead_tag = stream.tag[np.maximum(lead, 0)]
-
-    # A store hits iff the frame holds the line the last load installed.
-    store_hit = store & has_lead & (lead_tag == stream.tag)
-    stats.write_hits = int(np.count_nonzero(store_hit))
-    stats.write_misses = int(np.count_nonzero(store)) - stats.write_hits
-    stats.write_throughs = int(np.count_nonzero(store))
-    stats.write_through_bytes = int(stream.size[store].sum(dtype=np.int64))
-
-    # A load sees the line installed by the previous load (element i-1's
-    # lead); stores in between never disturbed it.
-    lead_prev = _shifted(lead, -1)
-    resident_prev = ~stream.first_in_set & (lead_prev >= set_start)
-    load_hit = load & resident_prev & (stream.tag[np.maximum(lead_prev, 0)] == stream.tag)
-    stats.read_hits = int(np.count_nonzero(load_hit))
-    stats.read_misses = int(np.count_nonzero(load)) - stats.read_hits
+    state = stream.around_state()
+    stats.write_hits = state.write_hits
+    stats.write_misses = stream.store_count - state.write_hits
+    stats.write_throughs = stream.store_count
+    stats.write_through_bytes = stream.store_bytes
+    stats.read_hits = state.read_hits
+    stats.read_misses = stream.load_count - state.read_hits
     stats.fetches_for_reads = stats.read_misses
-    stats.victims = int(np.count_nonzero(load & resident_prev & ~load_hit))
-
+    stats.victims = state.victims
     if flush:
-        stats.flushed_lines = len(np.unique(stream.set_index[load]))
+        stats.flushed_lines = state.flushed_lines
 
 
 def _classify_write_invalidate(
     stream: _SegmentStream, config: CacheConfig, flush: bool, stats: CacheStats
 ) -> None:
-    store = stream.store
-    load = ~store
-    lead, has_lead, set_start = _lead_load(stream)
-    lead_tag = stream.tag[np.maximum(lead, 0)]
-
-    # Segments sharing a lead load form a group over which the resident
-    # line is that load's tag — until the first store to a *different*
-    # tag invalidates the frame (the concurrent data write corrupted it).
-    # Segments before a set's first load get a per-set sentinel group in
-    # which nothing is ever resident.  "Has the frame been invalidated
-    # yet" is just a count of mismatching stores so far in the group.
-    group = np.where(has_lead, lead, -1 - stream.set_index)
-    group_start = np.concatenate(([True], group[1:] != group[:-1]))
-    mismatch = store & has_lead & (stream.tag != lead_tag)
-    mismatches_so_far = _counts_since_segment_start(
-        mismatch, group_start, stream.position, inclusive=True
-    )
-
-    # A store hits while its tag is still resident: same tag as the lead
-    # load and no invalidating store earlier in the group.
-    store_hit = store & has_lead & (stream.tag == lead_tag) & (mismatches_so_far == 0)
-    stats.write_hits = int(np.count_nonzero(store_hit))
-    stats.write_misses = int(np.count_nonzero(store)) - stats.write_hits
-    stats.write_throughs = int(np.count_nonzero(store))
-    stats.write_through_bytes = int(stream.size[store].sum(dtype=np.int64))
-    # One invalidation per group that mismatches at all — i.e. per first
-    # mismatch, the one whose inclusive count is exactly 1.
-    stats.invalidations = int(np.count_nonzero(mismatch & (mismatches_so_far == 1)))
-
-    # A load consults the state as of element i-1: the previous load's
-    # line survives iff its group saw no mismatching store.
-    lead_prev = _shifted(lead, -1)
-    resident_prev = (
-        ~stream.first_in_set
-        & (lead_prev >= set_start)
-        & (_shifted(mismatches_so_far, 0) == 0)
-    )
-    load_hit = load & resident_prev & (stream.tag[np.maximum(lead_prev, 0)] == stream.tag)
-    stats.read_hits = int(np.count_nonzero(load_hit))
-    stats.read_misses = int(np.count_nonzero(load)) - stats.read_hits
+    state = stream.invalidate_state()
+    stats.write_hits = state.write_hits
+    stats.write_misses = stream.store_count - state.write_hits
+    stats.write_throughs = stream.store_count
+    stats.write_through_bytes = stream.store_bytes
+    stats.invalidations = state.invalidations
+    stats.read_hits = state.read_hits
+    stats.read_misses = stream.load_count - state.read_hits
     stats.fetches_for_reads = stats.read_misses
-    stats.victims = int(np.count_nonzero(load & resident_prev & ~load_hit))
-
+    stats.victims = state.victims
     if flush:
-        final_valid = has_lead[stream.last_in_set] & (
-            mismatches_so_far[stream.last_in_set] == 0
-        )
-        stats.flushed_lines = int(np.count_nonzero(final_valid))
+        stats.flushed_lines = state.flushed_lines

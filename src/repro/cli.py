@@ -318,11 +318,12 @@ def _command_sweep(args) -> int:
 
     x_label, x_values, configs, detail = _sweep_axis(args)
     callback = verbose_reporter() if args.verbose else None
-    telemetry = runner.prefetch(
+    # Workload-major so each workload's configs form one batched task.
+    runner.prefetch(
         [
             runner.experiment_key(args.kind, name, config, scale=args.scale)
-            for config in configs
             for name in BENCHMARK_NAMES
+            for config in configs
         ],
         jobs=args.jobs,
         callback=callback,
@@ -341,7 +342,11 @@ def _command_sweep(args) -> int:
             title=f"{metric_name} sweep [{args.kind}] ({detail})",
         )
     )
-    print(f"telemetry: {telemetry.line()}", file=sys.stderr)
+    # Aggregate line (prefetch + sweep batches), matching the figures CLI;
+    # CI asserts on its computed= field for cold/warm store smoke runs.
+    from repro.exec.pool import aggregate_telemetry
+
+    print(f"telemetry: {aggregate_telemetry().line()}", file=sys.stderr)
     return 0
 
 

@@ -11,7 +11,7 @@ from typing import Dict, List
 
 from repro.cache.config import CacheConfig
 from repro.cache.policies import WriteHitPolicy, WriteMissPolicy
-from repro.core.figures.base import FigureResult
+from repro.core.figures.base import FigureResult, prefetch_grid
 from repro.core.metrics import (
     mean,
     partial_order_violations,
@@ -102,6 +102,14 @@ def _reduction_figure(
     ``configs_for(x, policy)`` builds the configuration; ``metric`` is
     :func:`write_miss_reduction` or :func:`total_miss_reduction`.
     """
+    all_policies = (WriteMissPolicy.FETCH_ON_WRITE,) + STRATEGIES
+    # One pool batch for the whole x-axis x policy grid: every workload's
+    # configurations land in a single batched task, and the metric loops
+    # below resolve from the in-process memo.
+    prefetch_grid(
+        [configs_for(x, policy) for x in x_values for policy in all_policies],
+        scale=scale,
+    )
     per_workload: Dict[str, Dict[str, List[float]]] = {
         policy.value: {name: [] for name in BENCHMARK_NAMES} for policy in STRATEGIES
     }
@@ -211,6 +219,21 @@ def fig17(scale: float = 1.0) -> FigureResult:
     write-invalidate, which never exceeds fetch-on-write.
     """
     all_policies = (WriteMissPolicy.FETCH_ON_WRITE,) + STRATEGIES
+    # Both sweeps' grids in one prefetch batch (duplicates dedup in the
+    # pool), so the verification loops below never simulate inline.
+    prefetch_grid(
+        [
+            _miss_policy_config(size_kb, DEFAULT_LINE_B, policy)
+            for size_kb in CACHE_SIZES_KB
+            for policy in all_policies
+        ]
+        + [
+            _miss_policy_config(DEFAULT_CACHE_KB, line_size, policy)
+            for line_size in LINE_SIZES_B
+            for policy in all_policies
+        ],
+        scale=scale,
+    )
     violations: List[str] = []
     series: Dict[str, List[float]] = {policy.value: [] for policy in all_policies}
     for size_kb in CACHE_SIZES_KB:

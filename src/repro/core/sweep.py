@@ -64,12 +64,15 @@ def sweep_experiments(
     unweighted mean across benchmarks, which is how the paper draws its
     bold average curves.
     """
+    # Workload-major order: each workload's whole config grid is
+    # contiguous, so the pool's batched dispatch sees one maximal group
+    # per trace and serial execution reuses each trace plan back to back.
     specs = {
         (name, index): experiment_key(
             kind, name, config, scale=scale, flush=flush
         )
-        for index, config in enumerate(configs)
         for name in workloads
+        for index, config in enumerate(configs)
     }
     prefetch(list(specs.values()), jobs=jobs)
     series: Dict[str, List[float]] = {name: [] for name in workloads}

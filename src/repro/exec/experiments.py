@@ -28,7 +28,7 @@ identically under :class:`~concurrent.futures.ProcessPoolExecutor`.
 """
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.common.errors import ConfigurationError
 
@@ -46,6 +46,13 @@ class ExperimentKind:
     stats_type: type
     engine_version: str
     schema_version: int = 1
+    #: Optional ``batch_runner(specs, trace) -> [stats, ...]`` for kinds
+    #: whose engine can amortise trace passes across several specs that
+    #: share one trace (see ``repro.cache.fastsim.simulate_trace_batch``).
+    #: Must return results in spec order, each bit-identical to
+    #: ``runner(spec, trace)``; the pool only groups specs that agree on
+    #: ``(workload, scale, seed, flush)``.
+    batch_runner: Optional[Callable] = None
 
 
 _REGISTRY: Dict[str, ExperimentKind] = {}
@@ -68,6 +75,7 @@ def register_runner(
     engine_version,
     schema_version: int = 1,
     replace: bool = False,
+    batch_runner: Optional[Callable] = None,
 ) -> ExperimentKind:
     """Register (or, with ``replace``, override) an experiment kind.
 
@@ -92,6 +100,7 @@ def register_runner(
         stats_type=stats_type,
         engine_version=str(engine_version),
         schema_version=schema_version,
+        batch_runner=batch_runner,
     )
     _REGISTRY[name] = kind
     return kind

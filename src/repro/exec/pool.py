@@ -21,6 +21,16 @@ consume it.  When shared memory is unavailable, workers fall back to
 regenerating from the deterministic generators — either way parallel
 results are bit-identical to serial execution, which the test suite
 enforces per kind.
+
+Kinds that register a batch runner (the ``cache`` kind does, via
+``repro.cache.fastsim.simulate_trace_batch``) get *batched dispatch*:
+pending misses of such a kind that agree on ``(workload, scale, seed,
+flush)`` travel to a worker as one task, so the batched kernel shares
+the trace-side passes across the whole configuration grid.  Results stay
+per-spec — each is individually content-addressed, persisted and
+reported through the same :class:`RunEvent` path as an unbatched run.
+Set ``$REPRO_SIM_BATCH=0`` (or construct the pool with ``batch=False``)
+to force per-run dispatch when debugging.
 """
 
 import os
@@ -36,6 +46,14 @@ from repro.exec.store import ResultStore
 
 #: Environment variable setting the default worker count.
 ENV_JOBS = "REPRO_JOBS"
+
+#: Environment variable disabling batched dispatch ("0"/"false"/"off").
+ENV_BATCH = "REPRO_SIM_BATCH"
+
+
+def batching_default() -> bool:
+    """Whether pools batch by default: on unless ``$REPRO_SIM_BATCH`` opts out."""
+    return os.environ.get(ENV_BATCH, "1").strip().lower() not in ("0", "false", "off")
 
 
 #: Process-wide override set by ``--jobs`` CLI flags (None = use $REPRO_JOBS).
@@ -82,6 +100,13 @@ class PoolTelemetry:
     computed: int = 0
     sim_seconds: float = 0.0  #: summed per-run simulation wall-time
     wall_seconds: float = 0.0  #: end-to-end batch wall-time
+    batches: int = 0  #: batched tasks dispatched (groups of >= 2 runs)
+    batched_runs: int = 0  #: runs resolved through a batched task
+
+    @property
+    def runs_per_batch(self) -> float:
+        """Mean grid size per batched task (0.0 when nothing batched)."""
+        return self.batched_runs / self.batches if self.batches else 0.0
 
     def add(self, other: "PoolTelemetry") -> None:
         """Fold another batch's counters into this one."""
@@ -92,6 +117,8 @@ class PoolTelemetry:
         self.computed += other.computed
         self.sim_seconds += other.sim_seconds
         self.wall_seconds += other.wall_seconds
+        self.batches += other.batches
+        self.batched_runs += other.batched_runs
 
     def line(self) -> str:
         """Stable machine-greppable summary (CI asserts on ``computed=``)."""
@@ -99,7 +126,9 @@ class PoolTelemetry:
             f"requested={self.requested} deduplicated={self.deduplicated} "
             f"memory={self.memory_hits} store={self.store_hits} "
             f"computed={self.computed} sim_s={self.sim_seconds:.2f} "
-            f"wall_s={self.wall_seconds:.2f}"
+            f"wall_s={self.wall_seconds:.2f} batches={self.batches} "
+            f"batched_runs={self.batched_runs} "
+            f"runs_per_batch={self.runs_per_batch:.1f}"
         )
 
 
@@ -157,6 +186,38 @@ def _execute_shared(spec: ExperimentSpec, handle) -> Tuple[object, float]:
     return stats, time.perf_counter() - started
 
 
+def _execute_batch(specs, handle) -> Tuple[list, float]:
+    """Run a group of same-trace specs through their kind's batch runner.
+
+    ``handle`` is an optional shared-memory trace handle (None means
+    regenerate in-process).  Returns the per-spec stats list, in spec
+    order, plus the wall-time of the whole batched call.
+    """
+    from repro.trace.corpus import load
+
+    kind = get_kind(specs[0].kind)
+    trace = None
+    if handle is not None:
+        from repro.exec.shm import attach_trace
+
+        try:
+            trace = attach_trace(handle)
+        except (OSError, ValueError):
+            trace = None
+    if trace is None:
+        spec = specs[0]
+        trace = load(spec.workload, scale=spec.scale, seed=spec.seed)
+    started = time.perf_counter()
+    stats_list = list(kind.batch_runner(specs, trace))
+    seconds = time.perf_counter() - started
+    if len(stats_list) != len(specs):
+        raise RuntimeError(
+            f"batch runner for kind {kind.name!r} returned "
+            f"{len(stats_list)} results for {len(specs)} specs"
+        )
+    return stats_list, seconds
+
+
 def verbose_reporter(stream=None) -> Callable[[RunEvent], None]:
     """A callback printing one progress line per resolved run."""
 
@@ -182,10 +243,12 @@ class ExperimentPool:
         store: Optional[ResultStore] = None,
         jobs: int = 1,
         callback: Optional[Callable[[RunEvent], None]] = None,
+        batch: Optional[bool] = None,
     ) -> None:
         self.store = store
         self.jobs = max(1, jobs)
         self.callback = callback
+        self.batch = batching_default() if batch is None else bool(batch)
         self.telemetry = PoolTelemetry()
 
     def _emit(self, source, key, seconds, completed, total) -> None:
@@ -214,6 +277,33 @@ class ExperimentPool:
                 shared.unlink()
             return {}
         return exported
+
+    def _plan_batches(self, pending):
+        """Split pending misses into batched groups and per-run singles.
+
+        Specs of a kind with a registered batch runner group by
+        ``(kind, workload, scale, seed, flush)`` — everything a batch
+        runner is allowed to assume is shared.  Only groups of two or
+        more become batched tasks; a group of one gains nothing from the
+        batch entry point, so it stays on the plain per-run path.
+        """
+        if not self.batch:
+            return [], list(pending)
+        groups: Dict[tuple, list] = {}
+        singles = []
+        for spec in pending:
+            if get_kind(spec.kind).batch_runner is None:
+                singles.append(spec)
+                continue
+            identity = (spec.kind, spec.workload, spec.scale, spec.seed, spec.flush)
+            groups.setdefault(identity, []).append(spec)
+        batches = []
+        for specs in groups.values():
+            if len(specs) > 1:
+                batches.append(specs)
+            else:
+                singles.append(specs[0])
+        return batches, singles
 
     def run_many(
         self,
@@ -273,19 +363,42 @@ class ExperimentPool:
             completed += 1
             self._emit("computed", key, seconds, completed, total)
 
+        def resolve_batch(specs, stats_list, seconds: float) -> None:
+            telemetry.batches += 1
+            telemetry.batched_runs += len(specs)
+            # The batched call is one timed unit; attribute its wall-time
+            # evenly so per-run sim_seconds still sum to engine time.
+            share = seconds / len(specs)
+            for spec, stats in zip(specs, stats_list):
+                resolve(spec, stats, share)
+
         if pending:
-            if self.jobs == 1 or len(pending) == 1:
-                # Serial fallback: never spawns worker processes.
-                for key in pending:
+            batches, singles = self._plan_batches(pending)
+            tasks = len(batches) + len(singles)
+            if self.jobs == 1 or tasks == 1:
+                # Serial fallback: never spawns worker processes (batched
+                # groups still go through the batched kernel inline).
+                for specs in batches:
+                    stats_list, seconds = _execute_batch(specs, None)
+                    resolve_batch(specs, stats_list, seconds)
+                for key in singles:
                     stats, seconds = _execute(key)
                     resolve(key, stats, seconds)
             else:
-                workers = min(self.jobs, len(pending))
+                workers = min(self.jobs, tasks)
                 exported = self._export_traces(pending)
                 try:
                     with ProcessPoolExecutor(max_workers=workers) as executor:
                         futures = {}
-                        for key in pending:
+                        for specs in batches:
+                            head = specs[0]
+                            shared = exported.get(
+                                (head.workload, head.scale, head.seed)
+                            )
+                            handle = shared.handle if shared is not None else None
+                            future = executor.submit(_execute_batch, specs, handle)
+                            futures[future] = specs
+                        for key in singles:
                             shared = exported.get((key.workload, key.scale, key.seed))
                             if shared is not None:
                                 future = executor.submit(
@@ -295,8 +408,13 @@ class ExperimentPool:
                                 future = executor.submit(_execute, key)
                             futures[future] = key
                         for future in as_completed(futures):
-                            stats, seconds = future.result()
-                            resolve(futures[future], stats, seconds)
+                            task = futures[future]
+                            if isinstance(task, list):
+                                stats_list, seconds = future.result()
+                                resolve_batch(task, stats_list, seconds)
+                            else:
+                                stats, seconds = future.result()
+                                resolve(task, stats, seconds)
                 finally:
                     # Workers have exited (executor shutdown above), so the
                     # pages have no consumers left and can be destroyed.

@@ -20,7 +20,11 @@ from repro.buffers.victim_buffer import (
 )
 from repro.buffers.write_buffer import WRITE_BUFFER_ENGINE_VERSION, WriteBufferStats
 from repro.buffers.write_cache import WRITE_CACHE_ENGINE_VERSION, WriteCacheStats
-from repro.cache.fastsim import SIMULATOR_VERSION, simulate_trace
+from repro.cache.fastsim import (
+    SIMULATOR_VERSION,
+    simulate_trace,
+    simulate_trace_batch,
+)
 from repro.cache.stats import CacheStats
 from repro.exec.experiments import register_runner
 from repro.hierarchy.system import SYSTEM_ENGINE_VERSION, SystemStats, simulate_system
@@ -29,6 +33,17 @@ from repro.hierarchy.system import SYSTEM_ENGINE_VERSION, SystemStats, simulate_
 def run_cache(spec, trace):
     """L1 cache counters via the fast simulator."""
     return simulate_trace(trace, spec.config, flush=spec.flush)
+
+
+def run_cache_batch(specs, trace):
+    """A grid of L1 cache runs sharing one trace's vectorised passes.
+
+    The pool only groups specs that agree on ``(workload, scale, seed,
+    flush)``, so one ``flush`` value covers the batch.
+    """
+    flush = specs[0].flush
+    assert all(spec.flush == flush for spec in specs)
+    return simulate_trace_batch(trace, [spec.config for spec in specs], flush=flush)
 
 
 def run_write_buffer(spec, trace):
@@ -53,7 +68,9 @@ def run_system(spec, trace):
     return simulate_system(trace, spec.config, flush=spec.flush)
 
 
-register_runner("cache", run_cache, CacheStats, SIMULATOR_VERSION)
+register_runner(
+    "cache", run_cache, CacheStats, SIMULATOR_VERSION, batch_runner=run_cache_batch
+)
 register_runner(
     "write_buffer", run_write_buffer, WriteBufferStats, WRITE_BUFFER_ENGINE_VERSION
 )

@@ -1,0 +1,75 @@
+"""Golden-stats pin: every engine must reproduce these exact counters.
+
+The differential suites compare engines against each other, which cannot
+catch a semantics change that shifts *all* of them in lockstep.  This
+test pins the literal ``CacheStats`` dict for one (trace, config) pair —
+``ccom`` at scale 0.05 through the default 1 KB/16 B write-back
+fetch-on-write cache — so any stat drift fails loudly, without relying
+on the result store.  If a change makes this fail on purpose, the
+simulator's outputs have changed: ``SIMULATOR_VERSION`` must be bumped
+and this dict regenerated in the same commit.
+"""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.fastsim import simulate_trace, simulate_trace_batch
+from repro.trace.corpus import load
+
+GOLDEN_WORKLOAD = ("ccom", 0.05, 1991)  # (name, scale, seed)
+GOLDEN_CONFIG = CacheConfig(size=1024, line_size=16)
+GOLDEN_TRACE_LENGTH = 11280
+
+GOLDEN_STATS = {
+    "reads": 6462,
+    "writes": 4818,
+    "read_line_accesses": 6462,
+    "write_line_accesses": 4818,
+    "read_hits": 3459,
+    "read_misses": 3003,
+    "read_partial_misses": 0,
+    "write_hits": 3968,
+    "write_misses": 850,
+    "writes_to_dirty_lines": 3772,
+    "fetches": 3853,
+    "fetch_bytes": 61648,
+    "fetches_for_reads": 3003,
+    "fetches_for_partial_reads": 0,
+    "fetches_for_writes": 850,
+    "writebacks": 1034,
+    "writeback_bytes": 16544,
+    "writeback_dirty_bytes": 13292,
+    "write_throughs": 0,
+    "write_through_bytes": 0,
+    "victims": 3789,
+    "dirty_victims": 1034,
+    "dirty_victim_dirty_bytes": 13292,
+    "validate_allocations": 0,
+    "invalidations": 0,
+    "flushed_lines": 64,
+    "flushed_dirty_lines": 12,
+    "flushed_dirty_bytes": 168,
+    "flush_writeback_bytes": 192,
+    "instructions": 25380,
+    "line_size": 16,
+    "extra": {},
+}
+
+
+@pytest.fixture(scope="module")
+def golden_trace():
+    name, scale, seed = GOLDEN_WORKLOAD
+    trace = load(name, scale=scale, seed=seed)
+    assert len(trace) == GOLDEN_TRACE_LENGTH, "workload generator drifted"
+    return trace
+
+
+@pytest.mark.parametrize("backend", ["reference", "loop", "vector"])
+def test_every_engine_matches_golden(golden_trace, backend):
+    stats = simulate_trace(golden_trace, GOLDEN_CONFIG, flush=True, backend=backend)
+    assert stats.to_dict() == GOLDEN_STATS, backend
+
+
+def test_batched_kernel_matches_golden(golden_trace):
+    (stats,) = simulate_trace_batch(golden_trace, [GOLDEN_CONFIG], flush=True)
+    assert stats.to_dict() == GOLDEN_STATS

@@ -193,12 +193,53 @@ class TestSupports:
         for line_size in (4, 8, 16, 32, 64):
             assert vecsim.supports(CacheConfig(size=8192, line_size=line_size))
 
+    def test_covers_wide_lines_with_multi_lane_masks(self):
+        for line_size in (128, 256):
+            assert vecsim.supports(CacheConfig(size=8192, line_size=line_size))
+
     def test_rejects_out_of_scope_configs(self):
         assert not vecsim.supports(CacheConfig(size=8192, line_size=16, associativity=2))
         assert not vecsim.supports(CacheConfig(size=8192, line_size=16, store_data=True))
-        assert not vecsim.supports(CacheConfig(size=8192, line_size=128))
         assert not vecsim.supports(
             CacheConfig(size=8192, line_size=16, subblock_fetch=True)
+        )
+
+
+class TestWideLines:
+    """Lines past one uint64 lane: (n, lanes) byte masks, same semantics."""
+
+    @pytest.mark.parametrize("hit,miss", COMBOS)
+    @pytest.mark.parametrize("line_size", [128, 256])
+    def test_policy_grid(self, hit, miss, line_size):
+        trace = seeded_trace(51, 500)
+        for subblock in (False, True):
+            for flush in (True, False):
+                config = CacheConfig(
+                    size=4 * line_size,
+                    line_size=line_size,
+                    write_hit=hit,
+                    write_miss=miss,
+                    subblock_dirty_writeback=subblock,
+                )
+                assert_stats_equal(
+                    vec_stats(trace, config, flush),
+                    _simulate_direct_mapped(trace, config, flush),
+                    f"{hit}/{miss} line={line_size} sub={subblock} flush={flush}",
+                )
+
+    @pytest.mark.parametrize("granularity", [1, 4, 8])
+    def test_write_validate_granularity(self, granularity):
+        trace = seeded_trace(52, 400)
+        config = CacheConfig(
+            size=1024,
+            line_size=128,
+            write_miss=WriteMissPolicy.WRITE_VALIDATE,
+            valid_granularity=granularity,
+        )
+        assert_stats_equal(
+            vec_stats(trace, config),
+            reference_stats(trace, config),
+            f"granularity={granularity}",
         )
 
 
@@ -242,14 +283,13 @@ class TestBackendDispatch:
         with pytest.raises(ConfigurationError):
             simulate_trace(trace, config)
 
-    def test_vector_refuses_unsupported_lines(self):
+    def test_vector_handles_wide_lines(self):
+        # 128 B lines used to fall back to the loop; the multi-lane masks
+        # now keep them on the vector kernel, bit-identically.
         trace = seeded_trace(45, 50)
         config = CacheConfig(size=8192, line_size=128)
-        with pytest.raises(ConfigurationError):
-            simulate_trace(trace, config, backend="vector")
-        # auto silently falls back to the loop engine instead.
         assert_stats_equal(
-            simulate_trace(trace, config),
+            simulate_trace(trace, config, backend="vector"),
             simulate_trace(trace, config, backend="reference"),
         )
 
