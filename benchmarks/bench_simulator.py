@@ -198,6 +198,44 @@ def _bench_batch_grid(trace, repeats):
     }
 
 
+def measure_fault_gate_overhead(trace, config, repeats=3, calls=100_000):
+    """Per-run cost fraction of the *disabled* fault-injection gates.
+
+    When no plan is active, every injection point the pool crosses per
+    run (one execution gate, one store-write gate) must reduce to a
+    single ``is None`` test.  This times those gates directly against
+    one vector simulation of the same trace, so the chaos framework's
+    "zero overhead when absent" claim is checked in CI: the two gate
+    calls a run pays must stay under a fraction of a percent of the
+    cheapest real simulation.
+    """
+    from repro.cache.stats import CacheStats
+    from repro.exec import faults
+    from repro.exec.keys import RunKey
+
+    spec = RunKey("grr", 0.3, 1991, config)
+    gate_best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        for _ in range(calls):
+            faults.fire_execution_fault(None, spec, 0)
+            faults.store_write_rule(None, spec)
+        gate_best = min(gate_best, time.perf_counter() - started)
+    per_run_gate_seconds = gate_best / calls
+
+    sim_best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        simulate_trace(trace, config, backend="vector")
+        sim_best = min(sim_best, time.perf_counter() - started)
+
+    return {
+        "gate_seconds_per_run": per_run_gate_seconds,
+        "sim_seconds_per_run": sim_best,
+        "overhead_fraction": per_run_gate_seconds / sim_best,
+    }
+
+
 def check_against_baseline(report, baseline, tolerance):
     """Names of configs whose speedup regressed beyond ``tolerance``."""
     regressions = []
@@ -250,6 +288,18 @@ def main(argv=None):
         metavar="X",
         help="fail unless the default write-back config reaches X",
     )
+    parser.add_argument(
+        "--fault-overhead-check",
+        action="store_true",
+        help="fail if the disabled fault-injection gates cost >=1%% of a "
+        "vector simulation per run",
+    )
+    parser.add_argument(
+        "--fault-overhead-tolerance",
+        type=float,
+        default=0.01,
+        help="maximum per-run gate cost as a fraction of simulation time",
+    )
     options = parser.parse_args(argv)
 
     baseline = None
@@ -285,6 +335,24 @@ def main(argv=None):
             print(
                 f"REGRESSION {DEFAULT_CONFIG}: speedup {speedup:.2f} < required "
                 f"{options.require_speedup:.2f}",
+                file=sys.stderr,
+            )
+            failed = True
+    if options.fault_overhead_check:
+        trace = load(options.workload, scale=options.scale)
+        config = CacheConfig(size=8192, line_size=16)
+        overhead = measure_fault_gate_overhead(trace, config)
+        print(
+            f"{'fault-gate (off)':22s} "
+            f"{overhead['gate_seconds_per_run'] * 1e9:6.0f} ns/run vs sim "
+            f"{overhead['sim_seconds_per_run'] * 1e3:6.2f} ms/run -> "
+            f"{overhead['overhead_fraction']:.5%} overhead"
+        )
+        if overhead["overhead_fraction"] >= options.fault_overhead_tolerance:
+            print(
+                f"REGRESSION fault-gate: disabled-injection overhead "
+                f"{overhead['overhead_fraction']:.3%} >= "
+                f"{options.fault_overhead_tolerance:.0%} of a vector run",
                 file=sys.stderr,
             )
             failed = True

@@ -12,11 +12,14 @@ Subcommands:
   cache|system|write_cache|write_buffer|victim_buffer``) and any derived
   metric of that kind's stats, optionally parallel (``--jobs``).
 - ``store`` — inspect or maintain the persistent result store (stats are
-  grouped by experiment kind).
+  grouped by experiment kind; ``quarantine`` lists records that failed to
+  read, with their reason codes).
 
 Commands that run experiments accept ``--jobs N`` to fan simulation out
 across N worker processes (0 = all cores); results are persisted in the
-content-addressed result store so reruns are served from disk.
+content-addressed result store so reruns are served from disk.  They
+also accept ``--retries`` and ``--task-timeout`` to tune the pool's
+fault tolerance (see "Failure semantics" in docs/orchestration.md).
 """
 
 import argparse
@@ -63,6 +66,20 @@ def _add_jobs_flag(parser) -> None:
         default=None,
         help="worker processes for simulation fan-out (0 = all cores)",
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="failed-task retries before degrading to inline execution "
+        "(default: $REPRO_RETRIES or 2)",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="seconds before an in-flight worker task is abandoned and "
+        "retried (default: $REPRO_TASK_TIMEOUT, unset = wait forever)",
+    )
 
 
 def _apply_jobs(args) -> None:
@@ -70,6 +87,15 @@ def _apply_jobs(args) -> None:
         from repro.exec.pool import set_default_jobs
 
         set_default_jobs(args.jobs)
+    retries = getattr(args, "retries", None)
+    task_timeout = getattr(args, "task_timeout", None)
+    if retries is not None or task_timeout is not None:
+        from repro.exec.pool import set_default_fault_policy
+
+        if retries is not None:
+            set_default_fault_policy(retries=retries)
+        if task_timeout is not None:
+            set_default_fault_policy(task_timeout=task_timeout)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -164,11 +190,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "store", help="inspect or maintain the persistent result store"
     )
     store.add_argument(
-        "action", choices=("stats", "clear", "gc"),
-        help="stats: summarise; clear: drop everything; gc: drop stale/corrupt",
+        "action", choices=("stats", "clear", "gc", "quarantine"),
+        help="stats: summarise; clear: drop everything; gc: quarantine "
+        "stale/corrupt; quarantine: list quarantined records",
     )
     store.add_argument(
         "--dir", default=None, help="store directory (default: $REPRO_RESULT_DIR)"
+    )
+    store.add_argument(
+        "--purge", action="store_true",
+        help="with 'quarantine': delete the listed quarantine entries",
     )
     return parser
 
@@ -361,17 +392,39 @@ def _command_store(args) -> int:
     if args.action == "stats":
         summary = store.stats()
         by_kind = summary.pop("by_kind", {})
+        reasons = summary.pop("quarantine_reasons", {})
         rows = [[key, value] for key, value in summary.items()]
         rows.extend(
             [f"records[{kind_name}]", count]
             for kind_name, count in by_kind.items()
         )
+        rows.extend(
+            [f"quarantine[{reason}]", count] for reason, count in reasons.items()
+        )
         print(format_table(["field", "value"], rows, title="result store"))
     elif args.action == "clear":
         print(f"removed {store.clear()} records from {store.root}")
+    elif args.action == "quarantine":
+        entries = store.quarantine_entries()
+        if not entries:
+            print(f"quarantine is empty ({store.quarantine_dir})")
+        else:
+            rows = [[entry["file"], entry["reason"]] for entry in entries]
+            print(
+                format_table(
+                    ["record", "reason"],
+                    rows,
+                    title=f"quarantined records ({store.quarantine_dir})",
+                )
+            )
+        if args.purge:
+            print(f"purged {store.purge_quarantine()} quarantine entries")
     else:
         kept, removed = store.gc()
-        print(f"gc: kept {kept}, removed {removed} stale/corrupt records")
+        print(
+            f"gc: kept {kept}, quarantined {removed} stale/corrupt records "
+            f"(inspect with 'store quarantine')"
+        )
     return 0
 
 

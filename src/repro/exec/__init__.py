@@ -16,8 +16,12 @@ those batches into a pipeline:
   corruption-tolerant on-disk map from specs to their kind's stats;
 - :mod:`repro.exec.pool` — :class:`ExperimentPool`, a deduplicating
   memory -> disk -> compute batch runner with optional process-pool
-  fan-out and per-run telemetry; mixed-kind batches share trace
-  shipment.
+  fan-out, per-run telemetry and fault tolerance (retries with backoff,
+  per-task deadlines, pool rebuilds, batch bisection); mixed-kind
+  batches share trace shipment;
+- :mod:`repro.exec.faults` — deterministic fault injection
+  (:class:`FaultPlan`) driving the chaos test suite; inert in
+  production.
 
 :mod:`repro.core.runner` builds its ``run``/``prefetch`` API on top, so
 callers rarely touch this package directly.
@@ -32,15 +36,29 @@ from repro.exec.experiments import (
     registered_kinds,
     unregister_runner,
 )
+from repro.exec.faults import (
+    ENV_FAULT_PLAN,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    ResultIntegrityError,
+    active_plan,
+    set_active_plan,
+)
 from repro.exec.keys import ExperimentSpec, RunKey
 from repro.exec.pool import (
     ENV_JOBS,
+    ENV_RETRIES,
+    ENV_TASK_TIMEOUT,
     ExperimentPool,
     PoolTelemetry,
     RunEvent,
     aggregate_telemetry,
     default_jobs,
+    default_retries,
+    default_task_timeout,
     reset_aggregate_telemetry,
+    set_default_fault_policy,
     set_default_jobs,
     verbose_reporter,
 )
@@ -69,11 +87,23 @@ __all__ = [
     "reset_aggregate_telemetry",
     "default_jobs",
     "set_default_jobs",
+    "default_retries",
+    "default_task_timeout",
+    "set_default_fault_policy",
     "verbose_reporter",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "ResultIntegrityError",
+    "active_plan",
+    "set_active_plan",
     "ResultStore",
     "StoreTelemetry",
     "default_store_root",
     "open_default_store",
     "ENV_JOBS",
+    "ENV_RETRIES",
+    "ENV_TASK_TIMEOUT",
+    "ENV_FAULT_PLAN",
     "ENV_RESULT_DIR",
 ]

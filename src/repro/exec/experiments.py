@@ -51,7 +51,11 @@ class ExperimentKind:
     #: share one trace (see ``repro.cache.fastsim.simulate_trace_batch``).
     #: Must return results in spec order, each bit-identical to
     #: ``runner(spec, trace)``; the pool only groups specs that agree on
-    #: ``(workload, scale, seed, flush)``.
+    #: ``(workload, scale, seed, flush)``.  The pool's degradation ladder
+    #: may re-dispatch any contiguous *sub-list* of a failed group (batch
+    #: bisection), so a batch runner must accept arbitrary subsets of a
+    #: grid it has seen before — never assume a fixed grid shape or carry
+    #: state between calls beyond caches keyed by the inputs themselves.
     batch_runner: Optional[Callable] = None
 
 

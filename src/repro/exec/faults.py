@@ -1,0 +1,357 @@
+"""Deterministic fault injection for the experiment pipeline.
+
+The fault-tolerance machinery in :class:`~repro.exec.pool.ExperimentPool`
+(retries, per-task deadlines, pool rebuilds, batch bisection) only earns
+its keep if it can be *tested* — and worker crashes, stalls and torn
+store writes do not happen on demand.  This module makes them happen on
+demand, deterministically: a :class:`FaultPlan` is a seeded list of
+:class:`FaultRule` entries, and whether a rule fires for a given
+:class:`~repro.exec.keys.ExperimentSpec` is a pure function of
+``(plan seed, rule index, spec digest, attempt number)``.  The same plan
+therefore injects the same faults in every process, on every platform,
+under any worker count — which is what lets the chaos suite assert that
+a faulted sweep still produces results bit-identical to a clean one.
+
+Fault modes (``FaultRule.mode``):
+
+- ``"raise"`` — the executing side raises :class:`InjectedFault` before
+  running the simulation (models a worker hitting a transient error);
+- ``"exit"`` — the worker dies hard via ``os._exit`` (models OOM kills
+  and segfaults; breaks the whole process pool).  Worker-only: never
+  fires in the parent process, so inline degradation stays safe;
+- ``"stall"`` — the worker sleeps past any reasonable deadline (models
+  hangs; exercises the pool's per-task timeout).  Worker-only;
+- ``"corrupt"`` — the simulation runs, but the returned stats are
+  perturbed *after* the result checksum is sealed, so the receiving side
+  detects the mismatch and retries (models transport corruption);
+- ``"torn-write"`` — a :meth:`ResultStore.put` writes a truncated record
+  straight to its final path and fails (models a crash mid-write without
+  the atomic-rename protection); the next read finds the torn record,
+  quarantines it and recomputes.
+
+A rule fires for the first ``times`` attempts of each matched spec and
+then stays quiet, so retried work recovers — the point is injecting
+faults the machinery must survive, not unwinnable ones.  ``rate`` < 1
+selects a deterministic pseudo-random subset of specs (hashed, not
+sampled); ``match`` restricts a rule to specs whose canonical string
+contains the substring (e.g. ``"workload=ccom"`` or ``"size=4096"``).
+
+Activation: set ``$REPRO_FAULT_PLAN`` to a JSON plan (or a path to one),
+or hand a plan to ``ExperimentPool(faults=...)``.  When no plan is
+active every injection point reduces to one ``is None`` test per *task*
+(nothing per reference), so the framework costs nothing in production —
+``benchmarks/bench_simulator.py --fault-overhead-check`` asserts the
+disabled gate stays under 1% of the cheapest real simulation.
+"""
+
+import json
+import os
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+
+#: Environment variable holding a JSON fault plan, or a path to one.
+ENV_FAULT_PLAN = "REPRO_FAULT_PLAN"
+
+#: The fault modes a rule may name.
+FAULT_MODES = ("raise", "exit", "stall", "corrupt", "torn-write")
+
+#: Modes that kill or wedge the executing process; these only ever fire
+#: in worker processes (``multiprocessing.parent_process() is not None``)
+#: so the pool's serial and inline-degradation paths cannot be taken down.
+_WORKER_ONLY_MODES = frozenset(("exit", "stall"))
+
+
+class InjectedFault(RuntimeError):
+    """An error raised (or reported) by deliberate fault injection."""
+
+
+class ResultIntegrityError(RuntimeError):
+    """A result's checksum did not match its payload (corrupt in transit)."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One deterministic fault: what to inject, where, and how often."""
+
+    mode: str
+    rate: float = 1.0  #: fraction of matched specs the rule selects
+    times: int = 1  #: fire on the first N attempts of a selected spec
+    match: str = ""  #: substring of the spec's canonical string ("" = all)
+    stall_seconds: float = 30.0  #: sleep length for ``stall``
+    exit_code: int = 13  #: status for ``exit``
+
+    def __post_init__(self) -> None:
+        if self.mode not in FAULT_MODES:
+            raise ConfigurationError(
+                f"unknown fault mode {self.mode!r}; expected one of {FAULT_MODES}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigurationError("fault rate must be within [0, 1]")
+        if self.times < 1:
+            raise ConfigurationError("fault times must be >= 1")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "mode": self.mode,
+            "rate": self.rate,
+            "times": self.times,
+            "match": self.match,
+            "stall_seconds": self.stall_seconds,
+            "exit_code": self.exit_code,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "FaultRule":
+        unknown = set(raw) - {
+            "mode", "rate", "times", "match", "stall_seconds", "exit_code"
+        }
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault rule fields: {sorted(unknown)}"
+            )
+        return cls(**raw)
+
+
+def _unit_hash(token: str) -> float:
+    """A stable hash of ``token`` mapped onto [0, 1)."""
+    return zlib.crc32(token.encode("utf-8")) / 2**32
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, content-addressed set of fault rules.
+
+    Whether rule ``i`` selects a spec is decided by hashing
+    ``(seed, i, spec digest)`` against the rule's ``rate`` — the same
+    decision in every process, with no mutable state to ship to workers.
+    Attempt numbers come from the caller (the pool tracks per-spec
+    attempts), so a retried spec deterministically escapes a rule once
+    its ``times`` budget is spent.
+    """
+
+    seed: int = 0
+    rules: Tuple[FaultRule, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+
+    # -- (de)serialisation --------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"seed": self.seed, "rules": [rule.to_dict() for rule in self.rules]}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "FaultPlan":
+        unknown = set(raw) - {"seed", "rules"}
+        if unknown:
+            raise ConfigurationError(f"unknown fault plan fields: {sorted(unknown)}")
+        rules = tuple(FaultRule.from_dict(rule) for rule in raw.get("rules", ()))
+        return cls(seed=int(raw.get("seed", 0)), rules=rules)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            raw = json.loads(text)
+        except ValueError as exc:
+            raise ConfigurationError(f"fault plan is not valid JSON: {exc}") from exc
+        if not isinstance(raw, dict):
+            raise ConfigurationError("fault plan JSON must be an object")
+        return cls.from_dict(raw)
+
+    # -- decisions ----------------------------------------------------------
+
+    def rule_for(self, spec, attempt: int, modes=None) -> Optional[FaultRule]:
+        """The first rule firing for ``spec`` on this (0-based) attempt.
+
+        ``modes`` restricts the lookup to a subset of fault modes (the
+        execution path and the store-write path consult different sets).
+        """
+        canonical = None
+        digest = None
+        for index, rule in enumerate(self.rules):
+            if modes is not None and rule.mode not in modes:
+                continue
+            if attempt >= rule.times:
+                continue
+            if rule.match:
+                if canonical is None:
+                    canonical = spec.canonical()
+                if rule.match not in canonical:
+                    continue
+            if rule.rate < 1.0:
+                if digest is None:
+                    digest = spec.digest()
+                if _unit_hash(f"{self.seed}:{index}:{digest}") >= rule.rate:
+                    continue
+            return rule
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Active-plan plumbing.
+# ---------------------------------------------------------------------------
+
+#: ``False`` = not yet resolved from the environment (``None`` is a valid
+#: resolved value: no plan active).
+_active = False
+
+
+def _load_env_plan() -> Optional[FaultPlan]:
+    raw = os.environ.get(ENV_FAULT_PLAN)
+    if not raw or not raw.strip():
+        return None
+    text = raw.strip()
+    if not text.startswith("{"):
+        try:
+            text = open(text, encoding="utf-8").read()
+        except OSError as exc:
+            raise ConfigurationError(
+                f"${ENV_FAULT_PLAN} names an unreadable plan file: {exc}"
+            ) from exc
+    return FaultPlan.from_json(text)
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The process-wide fault plan (``$REPRO_FAULT_PLAN``), or ``None``."""
+    global _active
+    if _active is False:
+        _active = _load_env_plan()
+    return _active
+
+
+def set_active_plan(plan: Optional[FaultPlan]) -> None:
+    """Override the process-wide plan (tests; ``None`` disables)."""
+    global _active
+    _active = plan
+
+
+def reset_active_plan() -> None:
+    """Re-resolve the plan from the environment on next use."""
+    global _active
+    _active = False
+
+
+def _in_worker() -> bool:
+    import multiprocessing
+
+    return multiprocessing.parent_process() is not None
+
+
+# ---------------------------------------------------------------------------
+# Injection points.  Each is a no-op single ``is None`` test when no plan
+# is active; the pool calls them once per task, never per reference.
+# ---------------------------------------------------------------------------
+
+
+def fire_execution_fault(plan: Optional[FaultPlan], spec, attempt: int) -> None:
+    """Raise/exit/stall before a simulation runs, if the plan says so."""
+    if plan is None:
+        return
+    rule = plan.rule_for(spec, attempt, modes=("raise", "exit", "stall"))
+    if rule is None:
+        return
+    if rule.mode in _WORKER_ONLY_MODES and not _in_worker():
+        return
+    if rule.mode == "raise":
+        raise InjectedFault(
+            f"injected raise for {spec.describe()} (attempt {attempt + 1})"
+        )
+    if rule.mode == "exit":
+        os._exit(rule.exit_code)
+    time.sleep(rule.stall_seconds)  # "stall": finish late, past any deadline
+
+
+def corrupt_result(plan: Optional[FaultPlan], spec, attempt: int, stats):
+    """Return ``stats`` perturbed if a ``corrupt`` rule fires, else as-is.
+
+    Called *after* :func:`result_checksum` sealed the honest payload, so
+    the receiver's checksum verification catches the perturbation.
+    """
+    if plan is None:
+        return stats
+    rule = plan.rule_for(spec, attempt, modes=("corrupt",))
+    if rule is None:
+        return stats
+    payload = stats.to_dict()
+    _bump_first_counter(payload)
+    return type(stats).from_dict(payload)
+
+
+def _bump_first_counter(payload: Dict) -> bool:
+    """Perturb the first numeric leaf of a (possibly nested) stats dict."""
+    for key, value in payload.items():
+        if isinstance(value, dict):
+            if _bump_first_counter(value):
+                return True
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            payload[key] = value + 1
+            return True
+    return False
+
+
+def store_write_rule(plan: Optional[FaultPlan], spec) -> Optional[FaultRule]:
+    """The ``torn-write`` rule firing for this store write, if any.
+
+    Store writes happen in the parent (results are persisted as they
+    stream back), so attempts are tracked process-locally here rather
+    than threaded through worker calls.
+    """
+    if plan is None:
+        return None
+    attempt = _store_write_attempts.get(spec, 0)
+    rule = plan.rule_for(spec, attempt, modes=("torn-write",))
+    if rule is not None:
+        _store_write_attempts[spec] = attempt + 1
+    return rule
+
+
+#: Parent-side count of torn-write firings per spec (bounds ``times``).
+_store_write_attempts: Dict[object, int] = {}
+
+
+def reset_store_write_attempts() -> None:
+    """Forget torn-write firing history (test isolation)."""
+    _store_write_attempts.clear()
+
+
+# ---------------------------------------------------------------------------
+# Result integrity.
+# ---------------------------------------------------------------------------
+
+
+def result_checksum(stats) -> int:
+    """A stable checksum of a stats object's full counter payload."""
+    payload = json.dumps(stats.to_dict(), sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(payload.encode("utf-8"))
+
+
+def verify_result(spec, stats, checksum: Optional[int]) -> None:
+    """Raise :class:`ResultIntegrityError` when a sealed checksum mismatches."""
+    if checksum is None:
+        return
+    if result_checksum(stats) != checksum:
+        raise ResultIntegrityError(
+            f"result for {spec.describe()} failed its integrity check"
+        )
+
+
+def retry_delay(
+    spec, attempt: int, base: float, cap: float = 2.0, seed: int = 0
+) -> float:
+    """Exponential backoff with deterministic jitter for one retry.
+
+    ``attempt`` is the number of failed tries so far (>= 1).  Jitter is
+    hashed from the spec digest, not drawn from global RNG state, so retry
+    schedules are reproducible run to run.
+    """
+    if base <= 0.0:
+        return 0.0
+    jitter = 0.75 + 0.5 * _unit_hash(f"backoff:{seed}:{spec.digest()}:{attempt}")
+    return min(cap, base * (2.0 ** (attempt - 1)) * jitter)

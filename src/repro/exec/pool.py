@@ -31,15 +31,34 @@ per-spec — each is individually content-addressed, persisted and
 reported through the same :class:`RunEvent` path as an unbatched run.
 Set ``$REPRO_SIM_BATCH=0`` (or construct the pool with ``batch=False``)
 to force per-run dispatch when debugging.
+
+Failure semantics (see "Failure semantics" in ``docs/orchestration.md``):
+a failed task is retried with exponential backoff and deterministic
+jitter up to ``retries`` times; a task running past ``task_timeout``
+seconds is abandoned and the worker pool rebuilt; a hard worker death
+(``BrokenProcessPool``) rebuilds the pool and requeues the in-flight
+work; and a failing *batched* task is bisected so one poisoned spec
+cannot lose its siblings' grid.  When per-run retries are exhausted the
+spec is executed serially inline in the parent as a last resort, and
+only an inline failure finally propagates.  Every recovery is counted in
+:class:`PoolTelemetry` (``retries``/``timeouts``/``pool_rebuilds``/
+``degraded_runs``) and reported through ``retry``/``timeout``
+:class:`RunEvent` entries carrying attempt numbers.  The deterministic
+fault-injection framework driving the chaos suite lives in
+:mod:`repro.exec.faults`.
 """
 
+import heapq
 import os
 import sys
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro.exec import faults as faults_module
 from repro.exec.experiments import get_kind
 from repro.exec.keys import ExperimentSpec
 from repro.exec.store import ResultStore
@@ -50,6 +69,19 @@ ENV_JOBS = "REPRO_JOBS"
 #: Environment variable disabling batched dispatch ("0"/"false"/"off").
 ENV_BATCH = "REPRO_SIM_BATCH"
 
+#: Environment variable setting the default per-task retry budget.
+ENV_RETRIES = "REPRO_RETRIES"
+
+#: Environment variable setting the default per-task deadline (seconds).
+ENV_TASK_TIMEOUT = "REPRO_TASK_TIMEOUT"
+
+#: Fallback retry budget when neither the CLI nor the environment says.
+DEFAULT_RETRIES = 2
+
+#: Base backoff delay (seconds) before a retry; doubles per attempt with
+#: deterministic jitter (see :func:`repro.exec.faults.retry_delay`).
+DEFAULT_BACKOFF = 0.05
+
 
 def batching_default() -> bool:
     """Whether pools batch by default: on unless ``$REPRO_SIM_BATCH`` opts out."""
@@ -58,6 +90,13 @@ def batching_default() -> bool:
 
 #: Process-wide override set by ``--jobs`` CLI flags (None = use $REPRO_JOBS).
 _default_jobs_override: Optional[int] = None
+
+#: Sentinel distinguishing "no override" from an explicit ``None`` override.
+_UNSET = object()
+
+#: Process-wide overrides set by ``--retries``/``--task-timeout`` CLI flags.
+_default_retries_override = _UNSET
+_default_timeout_override = _UNSET
 
 
 def set_default_jobs(jobs: Optional[int]) -> None:
@@ -78,15 +117,59 @@ def default_jobs() -> int:
     return os.cpu_count() or 1 if jobs == 0 else max(1, jobs)
 
 
+def set_default_fault_policy(retries=_UNSET, task_timeout=_UNSET) -> None:
+    """Override the process defaults for ``--retries``/``--task-timeout``.
+
+    Arguments left at the sentinel keep their current override; passing
+    ``None`` explicitly restores resolution from the environment.
+    """
+    global _default_retries_override, _default_timeout_override
+    if retries is not _UNSET:
+        _default_retries_override = _UNSET if retries is None else retries
+    if task_timeout is not _UNSET:
+        _default_timeout_override = _UNSET if task_timeout is None else task_timeout
+
+
+def default_retries() -> int:
+    """Per-task retry budget: CLI override, else ``$REPRO_RETRIES``, else 2."""
+    if _default_retries_override is not _UNSET:
+        return max(0, int(_default_retries_override))
+    raw = os.environ.get(ENV_RETRIES)
+    return max(0, int(raw)) if raw else DEFAULT_RETRIES
+
+
+def default_task_timeout() -> Optional[float]:
+    """Per-task deadline in seconds (None = wait forever, the default)."""
+    if _default_timeout_override is not _UNSET:
+        value = float(_default_timeout_override)
+        return value if value > 0 else None
+    raw = os.environ.get(ENV_TASK_TIMEOUT)
+    if not raw:
+        return None
+    value = float(raw)
+    return value if value > 0 else None
+
+
 @dataclass(frozen=True)
 class RunEvent:
-    """One resolved run, reported through the telemetry callback."""
+    """One resolution or recovery step, reported through the callback.
 
-    source: str  #: "memory", "store" or "computed"
+    ``source`` is ``"memory"``/``"store"``/``"computed"`` for resolutions
+    (these advance ``completed``) and ``"retry"``/``"timeout"`` for
+    recoveries (these do not — a retried run is never reported as two
+    completions).  ``attempt`` is the 1-based try number the event refers
+    to: the failed try for a recovery event, the successful try for a
+    resolution.  ``degraded`` marks work resolved through a degraded path
+    (a bisected batch half or the serial-inline fallback).
+    """
+
+    source: str  #: "memory", "store", "computed", "retry" or "timeout"
     key: ExperimentSpec
     seconds: float  #: simulation wall-time (0 for memory/store hits)
     completed: int  #: runs resolved so far, this batch
     total: int  #: deduplicated batch size
+    attempt: int = 1  #: 1-based try number this event refers to
+    degraded: bool = False  #: resolved via bisected-half or inline fallback
 
 
 @dataclass
@@ -102,6 +185,10 @@ class PoolTelemetry:
     wall_seconds: float = 0.0  #: end-to-end batch wall-time
     batches: int = 0  #: batched tasks dispatched (groups of >= 2 runs)
     batched_runs: int = 0  #: runs resolved through a batched task
+    retries: int = 0  #: failed tries that were retried (incl. persist retries)
+    timeouts: int = 0  #: tasks abandoned past their deadline
+    pool_rebuilds: int = 0  #: worker pools torn down and recreated
+    degraded_runs: int = 0  #: runs resolved via bisected halves or inline
 
     @property
     def runs_per_batch(self) -> float:
@@ -119,6 +206,10 @@ class PoolTelemetry:
         self.wall_seconds += other.wall_seconds
         self.batches += other.batches
         self.batched_runs += other.batched_runs
+        self.retries += other.retries
+        self.timeouts += other.timeouts
+        self.pool_rebuilds += other.pool_rebuilds
+        self.degraded_runs += other.degraded_runs
 
     def line(self) -> str:
         """Stable machine-greppable summary (CI asserts on ``computed=``)."""
@@ -128,7 +219,10 @@ class PoolTelemetry:
             f"computed={self.computed} sim_s={self.sim_seconds:.2f} "
             f"wall_s={self.wall_seconds:.2f} batches={self.batches} "
             f"batched_runs={self.batched_runs} "
-            f"runs_per_batch={self.runs_per_batch:.1f}"
+            f"runs_per_batch={self.runs_per_batch:.1f} "
+            f"retries={self.retries} timeouts={self.timeouts} "
+            f"pool_rebuilds={self.pool_rebuilds} "
+            f"degraded_runs={self.degraded_runs}"
         )
 
 
@@ -150,52 +244,96 @@ def reset_aggregate_telemetry() -> PoolTelemetry:
     return _aggregate
 
 
-def _execute(spec: ExperimentSpec) -> Tuple[object, float]:
+class _Task:
+    """One schedulable unit of pending work: a batched group or a single.
+
+    ``degraded`` marks tasks produced by the degradation ladder (bisected
+    halves, inline fallbacks); their resolutions count in
+    ``PoolTelemetry.degraded_runs``.  ``inline`` forces execution in the
+    parent process — the last rung of the ladder.
+    """
+
+    __slots__ = ("specs", "batched", "degraded", "inline")
+
+    def __init__(self, specs, batched, degraded=False, inline=False):
+        self.specs = list(specs)
+        self.batched = batched
+        self.degraded = degraded
+        self.inline = inline
+
+    def as_inline(self) -> "_Task":
+        return _Task(self.specs, self.batched, degraded=True, inline=True)
+
+
+def _execute(spec: ExperimentSpec, attempt: int = 0, plan=None) -> Tuple[object, float, Optional[int]]:
     """Run one experiment; used both inline and inside worker processes.
 
     Dispatches through the kind registry, so worker processes resolve the
     same runner the parent would (builtin kinds register lazily on first
-    lookup in each process).
+    lookup in each process).  ``plan`` is the active fault plan (None in
+    production — every fault hook then reduces to a single ``is None``
+    test); the returned checksum seals the honest payload so the parent
+    can detect results corrupted in transit.
     """
     from repro.trace.corpus import load
 
     runner = get_kind(spec.kind).runner
+    faults_module.fire_execution_fault(plan, spec, attempt)
     trace = load(spec.workload, scale=spec.scale, seed=spec.seed)
     started = time.perf_counter()
     stats = runner(spec, trace)
-    return stats, time.perf_counter() - started
+    seconds = time.perf_counter() - started
+    checksum = None
+    if plan is not None:
+        checksum = faults_module.result_checksum(stats)
+        stats = faults_module.corrupt_result(plan, spec, attempt, stats)
+    return stats, seconds, checksum
 
 
-def _execute_shared(spec: ExperimentSpec, handle) -> Tuple[object, float]:
+def _execute_shared(spec: ExperimentSpec, handle, attempt: int = 0, plan=None) -> Tuple[object, float, Optional[int]]:
     """Run one experiment against a trace shipped in shared memory.
 
-    Falls back to regenerating the trace if the page cannot be mapped
-    (e.g. the platform lacks POSIX shared memory) — the results are
+    Falls back to regenerating the trace if the page cannot be mapped or
+    fails validation (e.g. the platform lacks POSIX shared memory, or the
+    page is smaller than the handle promises) — the results are
     bit-identical either way, only slower.
     """
     from repro.exec.shm import attach_trace
     from repro.trace.corpus import load
 
     runner = get_kind(spec.kind).runner
+    faults_module.fire_execution_fault(plan, spec, attempt)
     try:
         trace = attach_trace(handle)
     except (OSError, ValueError):
         trace = load(spec.workload, scale=spec.scale, seed=spec.seed)
     started = time.perf_counter()
     stats = runner(spec, trace)
-    return stats, time.perf_counter() - started
+    seconds = time.perf_counter() - started
+    checksum = None
+    if plan is not None:
+        checksum = faults_module.result_checksum(stats)
+        stats = faults_module.corrupt_result(plan, spec, attempt, stats)
+    return stats, seconds, checksum
 
 
-def _execute_batch(specs, handle) -> Tuple[list, float]:
+def _execute_batch(specs, handle, attempts=None, plan=None) -> Tuple[list, float, Optional[list]]:
     """Run a group of same-trace specs through their kind's batch runner.
 
     ``handle`` is an optional shared-memory trace handle (None means
-    regenerate in-process).  Returns the per-spec stats list, in spec
-    order, plus the wall-time of the whole batched call.
+    regenerate in-process); ``attempts`` aligns per-spec attempt numbers
+    with ``specs`` for fault decisions.  Returns the per-spec stats list
+    in spec order, the wall-time of the whole batched call, and per-spec
+    integrity checksums when a fault plan is active.
     """
     from repro.trace.corpus import load
 
     kind = get_kind(specs[0].kind)
+    if plan is not None:
+        if attempts is None:
+            attempts = [0] * len(specs)
+        for spec, attempt in zip(specs, attempts):
+            faults_module.fire_execution_fault(plan, spec, attempt)
     trace = None
     if handle is not None:
         from repro.exec.shm import attach_trace
@@ -215,20 +353,74 @@ def _execute_batch(specs, handle) -> Tuple[list, float]:
             f"batch runner for kind {kind.name!r} returned "
             f"{len(stats_list)} results for {len(specs)} specs"
         )
-    return stats_list, seconds
+    checksums = None
+    if plan is not None:
+        checksums = [faults_module.result_checksum(stats) for stats in stats_list]
+        stats_list = [
+            faults_module.corrupt_result(plan, spec, attempt, stats)
+            for spec, attempt, stats in zip(specs, attempts, stats_list)
+        ]
+    return stats_list, seconds, checksums
+
+
+def _abandon_executor(executor) -> None:
+    """Tear an executor down without waiting on stuck or dead workers.
+
+    The worker list must be captured *before* ``shutdown`` — CPython
+    clears ``_processes`` even with ``wait=False``, and a stalled worker
+    that never gets its SIGTERM outlives the sweep and blocks interpreter
+    exit behind the executor's non-daemon management thread.
+    """
+    processes = list((getattr(executor, "_processes", None) or {}).values())
+    try:
+        executor.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+    for process in processes:
+        try:
+            process.terminate()
+        except Exception:
+            pass
+    for process in processes:
+        try:
+            process.join(timeout=1.0)
+            if process.is_alive():
+                process.kill()
+        except Exception:
+            pass
 
 
 def verbose_reporter(stream=None) -> Callable[[RunEvent], None]:
-    """A callback printing one progress line per resolved run."""
+    """A callback printing one progress line per resolution or recovery.
+
+    Retries and timeouts print as their own labelled lines carrying the
+    attempt number that failed — a retried run is never shown as two
+    anonymous completions — and its eventual resolution notes the attempt
+    that succeeded plus a ``[degraded]`` marker when it came through a
+    bisected batch half or the serial-inline fallback.
+    """
 
     def report(event: RunEvent) -> None:
         out = stream if stream is not None else sys.stderr
-        label = {"memory": "memo ", "store": "store", "computed": "sim  "}[
-            event.source
-        ]
+        label = {
+            "memory": "memo ",
+            "store": "store",
+            "computed": "sim  ",
+            "retry": "retry",
+            "timeout": "stall",
+        }[event.source]
         timing = f" ({event.seconds:.2f}s)" if event.source == "computed" else ""
+        if event.source in ("retry", "timeout"):
+            suffix = f" (attempt {event.attempt} failed)"
+        elif event.attempt > 1:
+            suffix = f" (attempt {event.attempt})"
+        else:
+            suffix = ""
+        if event.degraded:
+            suffix += " [degraded]"
         print(
-            f"[{event.completed}/{event.total}] {label} {event.key.describe()}{timing}",
+            f"[{event.completed}/{event.total}] {label} "
+            f"{event.key.describe()}{timing}{suffix}",
             file=out,
         )
 
@@ -244,16 +436,35 @@ class ExperimentPool:
         jobs: int = 1,
         callback: Optional[Callable[[RunEvent], None]] = None,
         batch: Optional[bool] = None,
+        retries: Optional[int] = None,
+        task_timeout: Optional[float] = None,
+        backoff: Optional[float] = None,
+        faults=None,
     ) -> None:
         self.store = store
         self.jobs = max(1, jobs)
         self.callback = callback
         self.batch = batching_default() if batch is None else bool(batch)
+        self.retries = default_retries() if retries is None else max(0, retries)
+        self.task_timeout = (
+            default_task_timeout() if task_timeout is None else task_timeout
+        )
+        self.backoff = DEFAULT_BACKOFF if backoff is None else max(0.0, backoff)
+        self.faults = faults_module.active_plan() if faults is None else faults
+        # An explicit plan handed to the pool also drives torn-write
+        # injection in its store (an env-activated plan reaches the store
+        # on its own through faults.active_plan()).
+        if store is not None and faults is not None:
+            store.faults = faults
         self.telemetry = PoolTelemetry()
 
-    def _emit(self, source, key, seconds, completed, total) -> None:
+    def _emit(
+        self, source, key, seconds, completed, total, attempt=1, degraded=False
+    ) -> None:
         if self.callback is not None:
-            self.callback(RunEvent(source, key, seconds, completed, total))
+            self.callback(
+                RunEvent(source, key, seconds, completed, total, attempt, degraded)
+            )
 
     @staticmethod
     def _export_traces(pending):
@@ -305,6 +516,25 @@ class ExperimentPool:
                 singles.append(specs[0])
         return batches, singles
 
+    def _persist(self, key: ExperimentSpec, stats) -> bool:
+        """Persist one result, retrying a failed write once.
+
+        A store write that keeps failing (disk full, torn-write fault
+        still firing) degrades gracefully: the in-memory result is still
+        returned and a warm rerun simply recomputes the record.
+        """
+        try:
+            self.store.put(key, stats)
+            return True
+        except Exception:
+            self.telemetry.retries += 1
+        try:
+            self.store.put(key, stats)
+            return True
+        except Exception:
+            self.telemetry.degraded_runs += 1
+            return False
+
     def run_many(
         self,
         keys: Iterable[ExperimentSpec],
@@ -351,77 +581,348 @@ class ExperimentPool:
                 continue
             pending.append(key)
 
-        def resolve(key: ExperimentSpec, stats, seconds: float) -> None:
-            nonlocal completed
-            results[key] = stats
-            if memo is not None:
-                memo[key] = stats
-            if self.store is not None:
-                self.store.put(key, stats)
-            telemetry.computed += 1
-            telemetry.sim_seconds += seconds
-            completed += 1
-            self._emit("computed", key, seconds, completed, total)
-
-        def resolve_batch(specs, stats_list, seconds: float) -> None:
-            telemetry.batches += 1
-            telemetry.batched_runs += len(specs)
-            # The batched call is one timed unit; attribute its wall-time
-            # evenly so per-run sim_seconds still sum to engine time.
-            share = seconds / len(specs)
-            for spec, stats in zip(specs, stats_list):
-                resolve(spec, stats, share)
-
         if pending:
-            batches, singles = self._plan_batches(pending)
-            tasks = len(batches) + len(singles)
-            if self.jobs == 1 or tasks == 1:
-                # Serial fallback: never spawns worker processes (batched
-                # groups still go through the batched kernel inline).
-                for specs in batches:
-                    stats_list, seconds = _execute_batch(specs, None)
-                    resolve_batch(specs, stats_list, seconds)
-                for key in singles:
-                    stats, seconds = _execute(key)
-                    resolve(key, stats, seconds)
-            else:
-                workers = min(self.jobs, tasks)
-                exported = self._export_traces(pending)
-                try:
-                    with ProcessPoolExecutor(max_workers=workers) as executor:
-                        futures = {}
-                        for specs in batches:
-                            head = specs[0]
-                            shared = exported.get(
-                                (head.workload, head.scale, head.seed)
-                            )
-                            handle = shared.handle if shared is not None else None
-                            future = executor.submit(_execute_batch, specs, handle)
-                            futures[future] = specs
-                        for key in singles:
-                            shared = exported.get((key.workload, key.scale, key.seed))
-                            if shared is not None:
-                                future = executor.submit(
-                                    _execute_shared, key, shared.handle
-                                )
-                            else:
-                                future = executor.submit(_execute, key)
-                            futures[future] = key
-                        for future in as_completed(futures):
-                            task = futures[future]
-                            if isinstance(task, list):
-                                stats_list, seconds = future.result()
-                                resolve_batch(task, stats_list, seconds)
-                            else:
-                                stats, seconds = future.result()
-                                resolve(task, stats, seconds)
-                finally:
-                    # Workers have exited (executor shutdown above), so the
-                    # pages have no consumers left and can be destroyed.
-                    for shared in exported.values():
-                        shared.close()
-                        shared.unlink()
+            self._resolve_pending(pending, results, memo, total)
 
         telemetry.wall_seconds = time.perf_counter() - started
         _aggregate.add(telemetry)
         return {key: results[key] for key in unique}
+
+    # -- pending execution --------------------------------------------------
+
+    def _resolve_pending(self, pending, results, memo, total):
+        """Compute every pending spec, surviving worker loss and faults."""
+        telemetry = self.telemetry
+        plan = self.faults
+        counter = _Counter(total - len(pending))
+        attempts: Dict[ExperimentSpec, int] = {key: 0 for key in pending}
+
+        def resolve(key, stats, seconds, task=None):
+            results[key] = stats
+            if memo is not None:
+                memo[key] = stats
+            if self.store is not None:
+                self._persist(key, stats)
+            telemetry.computed += 1
+            telemetry.sim_seconds += seconds
+            if task is not None and task.degraded:
+                telemetry.degraded_runs += 1
+            counter.value += 1
+            self._emit(
+                "computed",
+                key,
+                seconds,
+                counter.value,
+                total,
+                attempt=attempts.get(key, 0) + 1,
+                degraded=bool(task is not None and task.degraded),
+            )
+
+        def resolve_batch(task, stats_list, seconds):
+            telemetry.batches += 1
+            telemetry.batched_runs += len(task.specs)
+            # The batched call is one timed unit; attribute its wall-time
+            # evenly so per-run sim_seconds still sum to engine time.
+            share = seconds / len(task.specs)
+            for spec, stats in zip(task.specs, stats_list):
+                resolve(spec, stats, share, task)
+
+        def deliver(task, payload):
+            """Verify a task's payload and resolve it; raises on corruption."""
+            if task.batched:
+                stats_list, seconds, checksums = payload
+                if checksums is not None:
+                    for spec, stats, checksum in zip(
+                        task.specs, stats_list, checksums
+                    ):
+                        faults_module.verify_result(spec, stats, checksum)
+                resolve_batch(task, stats_list, seconds)
+            else:
+                stats, seconds, checksum = payload
+                faults_module.verify_result(task.specs[0], stats, checksum)
+                resolve(task.specs[0], stats, seconds, task)
+
+        def execute_inline(task):
+            if task.batched:
+                return _execute_batch(
+                    task.specs,
+                    None,
+                    [attempts[spec] for spec in task.specs],
+                    plan,
+                )
+            spec = task.specs[0]
+            return _execute(spec, attempts[spec], plan)
+
+        def emit_failures(task, source):
+            for spec in task.specs:
+                attempts[spec] += 1
+                self._emit(
+                    source,
+                    spec,
+                    0.0,
+                    counter.value,
+                    total,
+                    attempt=attempts[spec],
+                    degraded=task.degraded,
+                )
+
+        def bisect(task):
+            mid = (len(task.specs) + 1) // 2
+            return [
+                _Task(chunk, batched=len(chunk) > 1, degraded=True)
+                for chunk in (task.specs[:mid], task.specs[mid:])
+            ]
+
+        def followups_for(task, error, kind, inline_tier):
+            """The degradation ladder: what to schedule after a failure.
+
+            ``kind`` is ``"error"`` (the task itself raised — attributable,
+            so batches bisect immediately), ``"timeout"`` (attributable:
+            the task stalled) or ``"broken"`` (a worker died; not
+            attributable to this task, so it retries whole until its
+            budget runs out).  Returns ``(tasks, delay_seconds)``; raises
+            ``error`` when the ladder is exhausted.
+            """
+            if kind == "timeout":
+                telemetry.timeouts += 1
+            else:
+                telemetry.retries += 1
+            emit_failures(task, "timeout" if kind == "timeout" else "retry")
+            attributable = kind in ("error", "timeout")
+            if attributable and task.batched and len(task.specs) > 1:
+                return bisect(task), 0.0
+            worst = max(attempts[spec] for spec in task.specs)
+            if worst <= self.retries:
+                delay = faults_module.retry_delay(
+                    task.specs[0],
+                    worst,
+                    self.backoff,
+                    seed=plan.seed if plan is not None else 0,
+                )
+                return [task], delay
+            if task.batched and len(task.specs) > 1:
+                return bisect(task), 0.0
+            if inline_tier and not task.inline:
+                return [task.as_inline()], 0.0
+            raise error
+
+        batches, singles = self._plan_batches(pending)
+        tasks = [_Task(specs, batched=True) for specs in batches]
+        tasks += [_Task([key], batched=False) for key in singles]
+
+        if self.jobs == 1 or len(tasks) == 1:
+            self._run_serial(tasks, deliver, execute_inline, followups_for)
+        else:
+            self._run_parallel(
+                tasks, pending, attempts, plan, deliver, execute_inline, followups_for
+            )
+
+    def _run_serial(self, tasks, deliver, execute_inline, followups_for):
+        """Inline execution with the same retry/degradation ladder.
+
+        Worker-only faults (hard exits, stalls) never fire in the parent,
+        and per-task deadlines cannot be enforced without a worker to
+        abandon, so serial recovery covers raises, corrupt results and
+        torn store writes.  An exhausted ladder raises the final error.
+        """
+        queue = deque(tasks)
+        while queue:
+            task = queue.popleft()
+            try:
+                deliver(task, execute_inline(task))
+            except Exception as error:
+                replacements, delay = followups_for(
+                    task, error, "error", inline_tier=False
+                )
+                if delay:
+                    time.sleep(delay)
+                for replacement in reversed(replacements):
+                    queue.appendleft(replacement)
+
+    def _run_parallel(
+        self, tasks, pending, attempts, plan, deliver, execute_inline, followups_for
+    ):
+        """The fan-out scheduler: submit, watch deadlines, survive crashes."""
+        telemetry = self.telemetry
+        workers = min(self.jobs, len(tasks))
+        rebuild_limit = max(8, 4 * (self.retries + 1))
+        exported = self._export_traces(pending)
+        ready = deque(tasks)
+        delayed: List[tuple] = []  # heap of (due, seq, task)
+        running: Dict[object, tuple] = {}  # future -> (task, deadline)
+        seq = 0
+        executor = None
+
+        def schedule(replacements, delay):
+            nonlocal seq
+            if delay:
+                due = time.monotonic() + delay
+                for replacement in replacements:
+                    seq += 1
+                    heapq.heappush(delayed, (due, seq, replacement))
+            else:
+                ready.extend(replacements)
+
+        def rebuild():
+            nonlocal executor
+            telemetry.pool_rebuilds += 1
+            if telemetry.pool_rebuilds > rebuild_limit:
+                raise RuntimeError(
+                    f"worker pool rebuilt more than {rebuild_limit} times; "
+                    "giving up on this batch"
+                )
+            if executor is not None:
+                _abandon_executor(executor)
+            executor = ProcessPoolExecutor(max_workers=workers)
+
+        def submit(task):
+            nonlocal executor
+            if task.inline:
+                # Last rung of the ladder: compute in the parent, now.
+                try:
+                    deliver(task, execute_inline(task))
+                except Exception as error:
+                    schedule(
+                        *followups_for(task, error, "error", inline_tier=False)
+                    )
+                return
+            head = task.specs[0]
+            shared = exported.get((head.workload, head.scale, head.seed))
+            handle = shared.handle if shared is not None else None
+            for _ in range(2):
+                try:
+                    if task.batched:
+                        future = executor.submit(
+                            _execute_batch,
+                            task.specs,
+                            handle,
+                            [attempts[spec] for spec in task.specs],
+                            plan,
+                        )
+                    elif handle is not None:
+                        future = executor.submit(
+                            _execute_shared, head, handle, attempts[head], plan
+                        )
+                    else:
+                        future = executor.submit(_execute, head, attempts[head], plan)
+                    break
+                except BrokenProcessPool:
+                    rebuild()
+            else:  # pragma: no cover - second rebuild also failed
+                raise BrokenProcessPool("cannot submit to a rebuilt worker pool")
+            deadline = (
+                time.monotonic() + self.task_timeout if self.task_timeout else None
+            )
+            running[future] = (task, deadline)
+
+        try:
+            executor = ProcessPoolExecutor(max_workers=workers)
+            while ready or delayed or running:
+                now = time.monotonic()
+                while delayed and delayed[0][0] <= now:
+                    ready.append(heapq.heappop(delayed)[2])
+                while ready:
+                    submit(ready.popleft())
+                if not running:
+                    if delayed:
+                        pause = delayed[0][0] - time.monotonic()
+                        if pause > 0:
+                            time.sleep(pause)
+                    continue
+
+                wake_at = [due for due, _, _ in delayed[:1]]
+                wake_at += [
+                    deadline
+                    for _, deadline in running.values()
+                    if deadline is not None
+                ]
+                wait_timeout = (
+                    max(0.0, min(wake_at) - time.monotonic()) if wake_at else None
+                )
+                done, _ = wait(
+                    list(running), timeout=wait_timeout, return_when=FIRST_COMPLETED
+                )
+
+                broken = False
+                for future in done:
+                    task, _ = running.pop(future)
+                    error = future.exception()
+                    if error is None:
+                        try:
+                            deliver(task, future.result())
+                        except Exception as verify_error:
+                            schedule(
+                                *followups_for(
+                                    task, verify_error, "error", inline_tier=True
+                                )
+                            )
+                    elif isinstance(error, BrokenProcessPool):
+                        broken = True
+                        schedule(
+                            *followups_for(task, error, "broken", inline_tier=True)
+                        )
+                    else:
+                        schedule(
+                            *followups_for(task, error, "error", inline_tier=True)
+                        )
+
+                if broken:
+                    # The executor is dead; every in-flight task dies with
+                    # it.  Requeue them all through the ladder and start a
+                    # fresh pool.
+                    for future, (task, _) in list(running.items()):
+                        schedule(
+                            *followups_for(
+                                task,
+                                BrokenProcessPool(
+                                    "worker pool died with this task in flight"
+                                ),
+                                "broken",
+                                inline_tier=True,
+                            )
+                        )
+                    running.clear()
+                    rebuild()
+                    continue
+
+                now = time.monotonic()
+                expired = [
+                    future
+                    for future, (_, deadline) in running.items()
+                    if deadline is not None and deadline <= now
+                ]
+                if expired:
+                    for future in expired:
+                        task, _ = running.pop(future)
+                        timeout_error = TimeoutError(
+                            f"task exceeded its {self.task_timeout:.1f}s deadline"
+                        )
+                        schedule(
+                            *followups_for(
+                                task, timeout_error, "timeout", inline_tier=True
+                            )
+                        )
+                    # A stalled worker cannot be cancelled individually;
+                    # abandon the pool and requeue the innocent in-flight
+                    # work without an attempt penalty.
+                    for future, (task, _) in list(running.items()):
+                        ready.append(task)
+                    running.clear()
+                    rebuild()
+        finally:
+            if executor is not None:
+                _abandon_executor(executor)
+            # Workers are gone (or being torn down), so the pages have no
+            # consumers left and can be destroyed.
+            for shared in exported.values():
+                shared.close()
+                shared.unlink()
+
+
+class _Counter:
+    """A tiny mutable int box shared between run_many and its scheduler."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0):
+        self.value = value

@@ -39,7 +39,11 @@ def run_cache_batch(specs, trace):
     """A grid of L1 cache runs sharing one trace's vectorised passes.
 
     The pool only groups specs that agree on ``(workload, scale, seed,
-    flush)``, so one ``flush`` value covers the batch.
+    flush)``, so one ``flush`` value covers the batch — and that
+    invariant survives batch bisection, since any sub-list of a uniform
+    group is itself uniform.  ``simulate_trace_batch`` carries no state
+    between calls beyond caches keyed by its inputs, so re-dispatching a
+    bisected half stays bit-identical to the original grid.
     """
     flush = specs[0].flush
     assert all(spec.flush == flush for spec in specs)

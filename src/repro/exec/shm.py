@@ -101,12 +101,25 @@ def attach_trace(handle: SharedTraceHandle) -> Trace:
     # 3.13's track=False does); unregister-after-the-fact is not enough,
     # because forked workers share one tracker and the second worker's
     # unregister of an already-removed name spews tracker tracebacks.
+    if handle.length < 0:
+        raise ValueError(f"shared trace handle has negative length {handle.length}")
     original_register = resource_tracker.register
     resource_tracker.register = lambda *args, **kwargs: None
     try:
         mapping = shared_memory.SharedMemory(name=handle.shm_name)
     finally:
         resource_tracker.register = original_register
+    # A page smaller than the handle promises (truncated by a dying
+    # parent, or a stale name reused by another process) must read as an
+    # attach failure, not as numpy views running off the buffer; callers
+    # regenerate the trace from its workload generator instead.
+    needed = handle.length * BYTES_PER_REF
+    if mapping.size < needed:
+        mapping.close()
+        raise ValueError(
+            f"shared page {handle.shm_name!r} holds {mapping.size} bytes "
+            f"but the handle promises {needed}"
+        )
     length = handle.length
     offset = 0
     components = {}

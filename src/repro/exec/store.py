@@ -16,6 +16,15 @@ Guarantees:
   wrong-kind record reads as a miss (and is counted in telemetry), never
   a crash; the caller simply recomputes and overwrites it — and one
   kind's bad records never affect another kind's;
+- **quarantine** — a record that fails to read is not silently
+  re-missed: it is *moved* into a ``quarantine/`` sidecar directory with
+  a machine-readable reason code (``parse-error``,
+  ``store-schema-mismatch``, ``kind-mismatch``, ``kind-schema-mismatch``,
+  ``key-mismatch``, ``stats-decode-error``, ``unknown-kind``,
+  ``stale-store-schema``), so corruption is diagnosable after the fact.
+  ``store stats`` reports the quarantine population, ``store gc`` routes
+  the bad records it drops through the same sidecar, and
+  ``store quarantine [--purge]`` lists or empties it;
 - **invalidation** — each kind's engine version is part of the content
   hash (see :meth:`ExperimentSpec.canonical`), so bumping one family's
   engine orphans that family's records only; a kind's ``schema_version``
@@ -33,8 +42,9 @@ import os
 import pathlib
 import tempfile
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.exec import faults as faults_module
 from repro.exec.experiments import UnknownExperimentKind, get_kind
 from repro.exec.keys import ExperimentSpec
 
@@ -44,6 +54,9 @@ STORE_SCHEMA = 2
 
 #: Environment variable overriding the store location ("off" disables).
 ENV_RESULT_DIR = "REPRO_RESULT_DIR"
+
+#: Sidecar directory (under the store root) holding quarantined records.
+QUARANTINE_DIRNAME = "quarantine"
 
 _DISABLED_VALUES = ("", "off", "none", "0", "disabled")
 
@@ -56,6 +69,7 @@ class StoreTelemetry:
     misses: int = 0  #: get() calls with no record on disk
     corrupt: int = 0  #: records skipped because they failed to parse
     writes: int = 0  #: records persisted
+    quarantined: int = 0  #: bad records moved into the quarantine sidecar
 
     def snapshot(self) -> Dict[str, int]:
         return {
@@ -63,15 +77,19 @@ class StoreTelemetry:
             "misses": self.misses,
             "corrupt": self.corrupt,
             "writes": self.writes,
+            "quarantined": self.quarantined,
         }
 
 
 class ResultStore:
     """Persistent map from :class:`ExperimentSpec` to its kind's stats."""
 
-    def __init__(self, root) -> None:
+    def __init__(self, root, faults=None) -> None:
         self.root = pathlib.Path(root)
         self.telemetry = StoreTelemetry()
+        # Fault plan driving torn-write injection (chaos tests only; None
+        # in production, where the write path never consults it again).
+        self.faults = faults_module.active_plan() if faults is None else faults
 
     # -- addressing ---------------------------------------------------------
 
@@ -85,34 +103,48 @@ class ResultStore:
 
     # -- read/write ---------------------------------------------------------
 
+    def _decode(self, key: ExperimentSpec, raw: str):
+        """Parse one record for ``key``: ``(stats, None)`` or ``(None, reason)``."""
+        try:
+            record = json.loads(raw)
+        except ValueError:
+            return None, "parse-error"
+        if not isinstance(record, dict):
+            return None, "parse-error"
+        if record.get("schema") != STORE_SCHEMA:
+            return None, "store-schema-mismatch"
+        if record.get("kind") != key.kind:
+            return None, "kind-mismatch"
+        kind = get_kind(key.kind)
+        if record.get("kind_schema") != kind.schema_version:
+            return None, "kind-schema-mismatch"
+        if record.get("key") != key.canonical():
+            return None, "key-mismatch"
+        try:
+            stats = kind.stats_type.from_dict(record["stats"])
+        except (ValueError, KeyError, TypeError):
+            return None, "stats-decode-error"
+        return stats, None
+
     def get(self, key: ExperimentSpec):
-        """Load a stored result, or ``None`` on miss/corruption."""
+        """Load a stored result, or ``None`` on miss/corruption.
+
+        A record that fails to read is quarantined (moved to the
+        ``quarantine/`` sidecar with its reason code) rather than left in
+        place to re-miss on every warm run; the caller recomputes and the
+        fresh write heals the store.
+        """
         path = self.path_for(key)
         try:
             raw = path.read_text(encoding="utf-8")
         except OSError:
             self.telemetry.misses += 1
             return None
-        try:
-            record = json.loads(raw)
-            if record["schema"] != STORE_SCHEMA:
-                raise ValueError(f"schema {record['schema']} != {STORE_SCHEMA}")
-            if record["kind"] != key.kind:
-                raise ValueError(
-                    f"stored kind {record['kind']!r} != requested {key.kind!r}"
-                )
-            kind = get_kind(key.kind)
-            if record["kind_schema"] != kind.schema_version:
-                raise ValueError(
-                    f"{key.kind} stats schema {record['kind_schema']} "
-                    f"!= {kind.schema_version}"
-                )
-            if record["key"] != key.canonical():
-                raise ValueError("stored key does not match address")
-            stats = kind.stats_type.from_dict(record["stats"])
-        except (ValueError, KeyError, TypeError):
-            # A bad record is never fatal: treat as a miss and recompute.
+        stats, reason = self._decode(key, raw)
+        if reason is not None:
+            # A bad record is never fatal: quarantine it and recompute.
             self.telemetry.corrupt += 1
+            self._quarantine(path, reason, raw=raw)
             return None
         self.telemetry.hits += 1
         return stats
@@ -134,6 +166,17 @@ class ResultStore:
         }
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        torn = faults_module.store_write_rule(self.faults, key)
+        if torn is not None:
+            # Injected torn write: bypass the temp-file/rename protection
+            # and leave a truncated record at the final path, as a crash
+            # mid-write would without atomicity.  The next read finds the
+            # damage, quarantines it and recomputes.
+            payload = json.dumps(record, separators=(",", ":"))
+            path.write_text(payload[: max(1, len(payload) // 2)], encoding="utf-8")
+            raise faults_module.InjectedFault(
+                f"injected torn store write for {key.describe()}"
+            )
         handle, tmp_name = tempfile.mkstemp(
             dir=str(path.parent), prefix=".tmp-", suffix=".json"
         )
@@ -152,6 +195,77 @@ class ResultStore:
     def contains(self, key: ExperimentSpec) -> bool:
         """Cheap existence probe (no parse, no telemetry)."""
         return self.path_for(key).exists()
+
+    # -- quarantine ---------------------------------------------------------
+
+    @property
+    def quarantine_dir(self) -> pathlib.Path:
+        return self.root / QUARANTINE_DIRNAME
+
+    def _quarantine(self, path: pathlib.Path, reason: str, raw=None) -> None:
+        """Move one bad record into the quarantine sidecar.
+
+        The quarantine entry is a JSON envelope carrying the reason code,
+        the record's original path and its raw bytes, so corruption can be
+        diagnosed after the store has healed itself.  Quarantine failures
+        (read-only sidecar, full disk) degrade to plain deletion — a bad
+        record must never survive in the record tree either way.
+        """
+        if raw is None:
+            try:
+                raw = path.read_text(encoding="utf-8")
+            except OSError:
+                raw = None
+        entry = {"reason": reason, "source": str(path), "raw": raw}
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            handle, tmp_name = tempfile.mkstemp(
+                dir=str(self.quarantine_dir), prefix=".tmp-", suffix=".json"
+            )
+            with os.fdopen(handle, "w", encoding="utf-8") as tmp:
+                json.dump(entry, tmp, separators=(",", ":"))
+            os.replace(tmp_name, self.quarantine_dir / path.name)
+        except OSError:
+            pass
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        self.telemetry.quarantined += 1
+
+    def quarantine_entries(self) -> List[Dict[str, str]]:
+        """The quarantined records: ``[{"file", "reason", "source"}, ...]``."""
+        entries = []
+        if not self.quarantine_dir.is_dir():
+            return entries
+        for path in sorted(self.quarantine_dir.glob("*.json")):
+            if path.name.startswith(".tmp-"):
+                continue
+            try:
+                entry = json.loads(path.read_text(encoding="utf-8"))
+                reason = entry.get("reason", "unknown")
+                source = entry.get("source", "")
+            except (OSError, ValueError, AttributeError):
+                reason, source = "unreadable-quarantine-entry", ""
+            entries.append({"file": path.name, "reason": reason, "source": source})
+        return entries
+
+    def purge_quarantine(self) -> int:
+        """Delete every quarantine entry; returns the number removed."""
+        removed = 0
+        if not self.quarantine_dir.is_dir():
+            return removed
+        for path in list(self.quarantine_dir.glob("*.json")):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        try:
+            self.quarantine_dir.rmdir()
+        except OSError:
+            pass
+        return removed
 
     # -- maintenance --------------------------------------------------------
 
@@ -192,12 +306,18 @@ class ResultStore:
             except (OSError, ValueError, KeyError, TypeError):
                 kind_name = "<corrupt>"
             by_kind[kind_name] = by_kind.get(kind_name, 0) + 1
+        quarantine = self.quarantine_entries()
+        reasons: Dict[str, int] = {}
+        for entry in quarantine:
+            reasons[entry["reason"]] = reasons.get(entry["reason"], 0) + 1
         return {
             "root": str(self.root),
             "records": records,
             "bytes": size_bytes,
             "stale_schema_records": stale,
             "by_kind": dict(sorted(by_kind.items())),
+            "quarantine_records": len(quarantine),
+            "quarantine_reasons": dict(sorted(reasons.items())),
             **self.telemetry.snapshot(),
         }
 
@@ -212,6 +332,29 @@ class ResultStore:
                 pass
         return removed
 
+    @staticmethod
+    def _gc_reason(raw: str) -> Optional[str]:
+        """Why a current-schema record must go, or ``None`` to keep it."""
+        try:
+            record = json.loads(raw)
+            if not isinstance(record, dict):
+                return "parse-error"
+        except ValueError:
+            return "parse-error"
+        try:
+            kind = get_kind(record["kind"])
+        except (UnknownExperimentKind, KeyError, TypeError):
+            return "unknown-kind"
+        if record.get("schema") != STORE_SCHEMA:
+            return "store-schema-mismatch"
+        if record.get("kind_schema") != kind.schema_version:
+            return "kind-schema-mismatch"
+        try:
+            kind.stats_type.from_dict(record["stats"])
+        except (ValueError, KeyError, TypeError):
+            return "stats-decode-error"
+        return None
+
     def gc(self) -> Tuple[int, int]:
         """Drop corrupt, stale-schema and unknown-kind records.
 
@@ -219,37 +362,26 @@ class ResultStore:
         under the current schema directory, names a registered kind whose
         stats schema matches, and parses cleanly all the way through that
         kind's ``from_dict``.  One kind's corrupt records never force
-        another kind's records out.
+        another kind's records out.  Dropped records are routed through
+        the quarantine sidecar (with their reason code) rather than
+        destroyed, so ``store quarantine`` can still explain what went
+        wrong.
         """
         kept = removed = 0
         for path in list(self._record_paths()):
-            keep = f"v{STORE_SCHEMA}" in path.parts
-            if keep:
-                try:
-                    record = json.loads(path.read_text(encoding="utf-8"))
-                    kind = get_kind(record["kind"])
-                    keep = (
-                        record["schema"] == STORE_SCHEMA
-                        and record["kind_schema"] == kind.schema_version
-                    )
-                    if keep:
-                        kind.stats_type.from_dict(record["stats"])
-                except (
-                    OSError,
-                    ValueError,
-                    KeyError,
-                    TypeError,
-                    UnknownExperimentKind,
-                ):
-                    keep = False
-            if keep:
-                kept += 1
+            if f"v{STORE_SCHEMA}" not in path.parts:
+                reason = "stale-store-schema"
             else:
                 try:
-                    path.unlink()
-                    removed += 1
+                    raw = path.read_text(encoding="utf-8")
                 except OSError:
-                    pass
+                    continue  # vanished under us: neither kept nor removed
+                reason = self._gc_reason(raw)
+            if reason is None:
+                kept += 1
+            else:
+                self._quarantine(path, reason)
+                removed += 1
         return kept, removed
 
 
