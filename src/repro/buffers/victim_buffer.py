@@ -52,6 +52,25 @@ class VictimBufferConfig:
             entries=self.entries, retire_interval=self.retire_interval
         )
 
+    def to_dict(self) -> dict:
+        """JSON-safe payload; the backing cache nests as its own dict."""
+        return {
+            "cache": self.cache.to_dict(),
+            "entries": self.entries,
+            "retire_interval": self.retire_interval,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "VictimBufferConfig":
+        """Inverse of :meth:`to_dict`; unknown keys raise, missing default."""
+        unknown = set(payload) - {"cache", "entries", "retire_interval"}
+        if unknown:
+            raise ValueError(f"unknown VictimBufferConfig fields: {sorted(unknown)}")
+        data = dict(payload)
+        if "cache" in data:
+            data["cache"] = CacheConfig.from_dict(data["cache"])
+        return cls(**data)
+
 
 @dataclass
 class VictimBufferStats(CounterSerde):

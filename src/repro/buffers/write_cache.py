@@ -49,6 +49,18 @@ class WriteCacheConfig:
         """Instantiate the write cache this config describes."""
         return WriteCache(entries=self.entries, line_size=self.line_size)
 
+    def to_dict(self) -> dict:
+        """JSON-safe payload covering every identity field."""
+        return {"entries": self.entries, "line_size": self.line_size}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "WriteCacheConfig":
+        """Inverse of :meth:`to_dict`; unknown keys raise, missing default."""
+        unknown = set(payload) - {"entries", "line_size"}
+        if unknown:
+            raise ValueError(f"unknown WriteCacheConfig fields: {sorted(unknown)}")
+        return cls(**payload)
+
 
 @dataclass
 class WriteCacheStats(CounterSerde):

@@ -194,3 +194,44 @@ class CacheConfig:
             f"{format_size(self.size)}/{format_size(self.line_size)}/{assoc}/"
             f"{self.write_hit.value}/{self.write_miss.value}"
         )
+
+    # -- serde ----------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe payload covering every identity field (``name`` is
+        display-only and excluded; enums flatten to their wire values)."""
+        return {
+            "size": self.size,
+            "line_size": self.line_size,
+            "associativity": self.associativity,
+            "write_hit": self.write_hit.value,
+            "write_miss": self.write_miss.value,
+            "valid_granularity": self.valid_granularity,
+            "subblock_dirty_writeback": self.subblock_dirty_writeback,
+            "subblock_fetch": self.subblock_fetch,
+            "replacement": self.replacement,
+            "store_data": self.store_data,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CacheConfig":
+        """Inverse of :meth:`to_dict`; unknown keys raise, missing default.
+
+        Policy values arrive as wire strings (``"write-back"``, ...); an
+        unknown policy raises ``ValueError`` straight from the enum, and
+        geometry validation still happens in ``__post_init__``.
+        """
+        known = {
+            "size", "line_size", "associativity", "write_hit", "write_miss",
+            "valid_granularity", "subblock_dirty_writeback", "subblock_fetch",
+            "replacement", "store_data",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown CacheConfig fields: {sorted(unknown)}")
+        data = dict(payload)
+        if "write_hit" in data:
+            data["write_hit"] = WriteHitPolicy(data["write_hit"])
+        if "write_miss" in data:
+            data["write_miss"] = WriteMissPolicy(data["write_miss"])
+        return cls(**data)

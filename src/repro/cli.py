@@ -14,12 +14,21 @@ Subcommands:
 - ``store`` — inspect or maintain the persistent result store (stats are
   grouped by experiment kind; ``quarantine`` lists records that failed to
   read, with their reason codes).
+- ``serve`` — run the long-lived experiment service: one warm pool and
+  store behind an HTTP/JSON API, with cross-client coalescing and
+  graceful drain on SIGTERM/SIGINT (see docs/service.md).
+- ``submit`` — send a sweep grid to a running service and (by default)
+  wait for the result; prints the same table ``sweep`` would.
+- ``jobs`` — list a service's jobs and their states.
+- ``watch`` — stream one job's progress events from a service.
 
 Commands that run experiments accept ``--jobs N`` to fan simulation out
 across N worker processes (0 = all cores); results are persisted in the
 content-addressed result store so reruns are served from disk.  They
 also accept ``--retries`` and ``--task-timeout`` to tune the pool's
 fault tolerance (see "Failure semantics" in docs/orchestration.md).
+``sweep``, ``submit``, ``jobs`` and ``store stats`` accept ``--json``
+for machine-readable output.
 """
 
 import argparse
@@ -98,6 +107,50 @@ def _apply_jobs(args) -> None:
             set_default_fault_policy(task_timeout=task_timeout)
 
 
+def _add_sweep_axis_flags(parser) -> None:
+    """The grid-selection flags ``sweep`` and ``submit`` share."""
+    parser.add_argument(
+        "--kind", choices=_SWEEP_KINDS, default="cache",
+        help="experiment kind to sweep (default: the bare L1 cache)",
+    )
+    parser.add_argument(
+        "--axis", choices=("size", "line"), default="size",
+        help="cache/system kinds: sweep cache size (16B lines) or line "
+        "size (8KB capacity); structure kinds sweep their own axis "
+        "(write_cache/victim_buffer: entries; write_buffer: retire "
+        "interval) and ignore this flag",
+    )
+    parser.add_argument(
+        "--metric", default=None,
+        help="stats property to plot (validated against the kind's stats "
+        "type; default depends on --kind)",
+    )
+    parser.add_argument(
+        "--write-hit", choices=sorted(_HIT_POLICIES), default="write-back"
+    )
+    parser.add_argument(
+        "--write-miss", choices=sorted(_MISS_POLICIES), default="fetch-on-write"
+    )
+    parser.add_argument("--scale", type=float, default=1.0)
+
+
+def _add_url_flag(parser) -> None:
+    parser.add_argument(
+        "--url",
+        default=None,
+        help="service endpoint (default: http://$REPRO_SERVE_HOST:"
+        "$REPRO_SERVE_PORT, falling back to http://127.0.0.1:8321)",
+    )
+
+
+def _service_url(args) -> str:
+    if args.url:
+        return args.url
+    from repro.service.app import default_host, default_port
+
+    return f"http://{default_host()}:{default_port()}"
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -158,31 +211,14 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep = subparsers.add_parser(
         "sweep", help="run a standard parameter sweep for one metric"
     )
-    sweep.add_argument(
-        "--kind", choices=_SWEEP_KINDS, default="cache",
-        help="experiment kind to sweep (default: the bare L1 cache)",
-    )
-    sweep.add_argument(
-        "--axis", choices=("size", "line"), default="size",
-        help="cache/system kinds: sweep cache size (16B lines) or line "
-        "size (8KB capacity); structure kinds sweep their own axis "
-        "(write_cache/victim_buffer: entries; write_buffer: retire "
-        "interval) and ignore this flag",
-    )
-    sweep.add_argument(
-        "--metric", default=None,
-        help="stats property to plot (validated against the kind's stats "
-        "type; default depends on --kind)",
-    )
-    sweep.add_argument(
-        "--write-hit", choices=sorted(_HIT_POLICIES), default="write-back"
-    )
-    sweep.add_argument(
-        "--write-miss", choices=sorted(_MISS_POLICIES), default="fetch-on-write"
-    )
-    sweep.add_argument("--scale", type=float, default=1.0)
+    _add_sweep_axis_flags(sweep)
     sweep.add_argument(
         "--verbose", action="store_true", help="report per-run progress on stderr"
+    )
+    sweep.add_argument(
+        "--json", action="store_true",
+        help="print the sweep as JSON (series + pool telemetry) instead "
+        "of a table",
     )
     _add_jobs_flag(sweep)
 
@@ -200,6 +236,72 @@ def _build_parser() -> argparse.ArgumentParser:
     store.add_argument(
         "--purge", action="store_true",
         help="with 'quarantine': delete the listed quarantine entries",
+    )
+    store.add_argument(
+        "--json", action="store_true",
+        help="with 'stats': print the summary as JSON instead of a table",
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the long-lived experiment service (HTTP/JSON over one "
+        "warm pool and store; see docs/service.md)",
+    )
+    serve.add_argument(
+        "--host", default=None,
+        help="bind address (default: $REPRO_SERVE_HOST or 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=None,
+        help="bind port (default: $REPRO_SERVE_PORT or 8321; 0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="concurrent job worker threads (default: 2)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=None,
+        help="queued-job bound before submissions bounce with 429 "
+        "(default: 64)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    _add_jobs_flag(serve)
+
+    submit = subparsers.add_parser(
+        "submit",
+        help="submit a sweep grid to a running service and print the "
+        "same table 'sweep' would",
+    )
+    _add_sweep_axis_flags(submit)
+    _add_url_flag(submit)
+    submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument(
+        "--token", default=None,
+        help="client identity for queue fairness (default: anonymous)",
+    )
+    submit.add_argument(
+        "--no-wait", action="store_true",
+        help="print the job id and return without waiting for the result",
+    )
+    submit.add_argument(
+        "--json", action="store_true",
+        help="print the result as JSON (same shape as 'sweep --json')",
+    )
+
+    jobs = subparsers.add_parser("jobs", help="list a service's jobs")
+    _add_url_flag(jobs)
+    jobs.add_argument("--json", action="store_true")
+
+    watch = subparsers.add_parser(
+        "watch", help="stream one job's progress events from a service"
+    )
+    watch.add_argument("job", help="job id (as printed by 'submit')")
+    _add_url_flag(watch)
+    watch.add_argument(
+        "--from", dest="start", type=int, default=0,
+        help="event index to resume the stream from",
     )
     return parser
 
@@ -328,14 +430,10 @@ def _sweep_axis(args):
     )
 
 
-def _command_sweep(args) -> int:
-    from repro.common.render import format_series_table
-    from repro.core import runner
-    from repro.core.sweep import sweep_experiments
+def _resolve_metric(args):
+    """Validate ``--metric`` against the kind's stats type; None = invalid."""
     from repro.exec.experiments import get_kind
-    from repro.exec.pool import verbose_reporter
 
-    _apply_jobs(args)
     kind = get_kind(args.kind)
     metric_name = args.metric or _DEFAULT_METRICS[args.kind]
     valid_metrics = _metrics_for(kind.stats_type)
@@ -345,6 +443,19 @@ def _command_sweep(args) -> int:
             f"choose from: {', '.join(valid_metrics)}",
             file=sys.stderr,
         )
+        return None
+    return metric_name
+
+
+def _command_sweep(args) -> int:
+    from repro.common.render import format_series_table
+    from repro.core import runner
+    from repro.core.sweep import sweep_experiments
+    from repro.exec.pool import verbose_reporter
+
+    _apply_jobs(args)
+    metric_name = _resolve_metric(args)
+    if metric_name is None:
         return 2
 
     x_label, x_values, configs, detail = _sweep_axis(args)
@@ -365,18 +476,35 @@ def _command_sweep(args) -> int:
         lambda stats: getattr(stats, metric_name),
         scale=args.scale,
     )
-    print(
-        format_series_table(
-            x_label,
-            x_values,
-            series,
-            title=f"{metric_name} sweep [{args.kind}] ({detail})",
-        )
-    )
-    # Aggregate line (prefetch + sweep batches), matching the figures CLI;
-    # CI asserts on its computed= field for cold/warm store smoke runs.
+    # Aggregate counters (prefetch + sweep batches), matching the figures
+    # CLI; CI asserts on the line's computed= field for cold/warm store
+    # smoke runs.
     from repro.exec.pool import aggregate_telemetry
 
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "kind": args.kind,
+                    "metric": metric_name,
+                    "x_label": x_label,
+                    "x_values": x_values,
+                    "series": series,
+                    "telemetry": aggregate_telemetry().to_dict(),
+                }
+            )
+        )
+    else:
+        print(
+            format_series_table(
+                x_label,
+                x_values,
+                series,
+                title=f"{metric_name} sweep [{args.kind}] ({detail})",
+            )
+        )
     print(f"telemetry: {aggregate_telemetry().line()}", file=sys.stderr)
     return 0
 
@@ -391,6 +519,11 @@ def _command_store(args) -> int:
     store = ResultStore(root)
     if args.action == "stats":
         summary = store.stats()
+        if args.json:
+            import json
+
+            print(json.dumps(summary))
+            return 0
         by_kind = summary.pop("by_kind", {})
         reasons = summary.pop("quarantine_reasons", {})
         rows = [[key, value] for key, value in summary.items()]
@@ -446,6 +579,228 @@ def _command_report(args) -> int:
     return 0
 
 
+def _command_serve(args) -> int:
+    import signal
+    import threading
+
+    from repro.service.app import ExperimentService, ServiceServer
+    from repro.service.queue import DEFAULT_QUEUE_DEPTH
+
+    _apply_jobs(args)
+    service = ExperimentService(
+        workers=args.workers,
+        queue_depth=(
+            DEFAULT_QUEUE_DEPTH if args.queue_depth is None else args.queue_depth
+        ),
+    )
+    server = ServiceServer(
+        service, host=args.host, port=args.port, verbose=args.verbose
+    )
+    stop = threading.Event()
+
+    def _handle(signum, frame):  # noqa: ARG001 - signal signature
+        # Flip to 503 immediately; the main thread below does the drain.
+        service.begin_drain()
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _handle)
+    signal.signal(signal.SIGINT, _handle)
+    server.start_background()
+    store_line = service.store.root if service.store is not None else "disabled"
+    print(
+        f"repro serve: listening on {server.url} "
+        f"(store: {store_line}, pool jobs: {service.pool.jobs}, "
+        f"workers: {args.workers})",
+        file=sys.stderr,
+    )
+    while not stop.wait(0.5):
+        pass
+    print("repro serve: draining (finishing accepted jobs)...", file=sys.stderr)
+    service.drain()
+    server.shutdown()
+    import json
+
+    snapshot = service.telemetry_snapshot()
+    print(
+        f"repro serve: drained; telemetry: {json.dumps(snapshot['service'])}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _command_submit(args) -> int:
+    import json
+
+    from repro.common.render import format_series_table
+    from repro.service.client import ServiceClient, ServiceError
+    from repro.service.protocol import DEFAULT_TOKEN, grid_request
+
+    metric_name = _resolve_metric(args)
+    if metric_name is None:
+        return 2
+    x_label, x_values, configs, detail = _sweep_axis(args)
+    url = _service_url(args)
+    client = ServiceClient(url)
+    payload = grid_request(
+        args.kind,
+        BENCHMARK_NAMES,
+        configs,
+        scale=args.scale,
+        priority=args.priority,
+        token=args.token or DEFAULT_TOKEN,
+    )
+    try:
+        submitted = client.submit(payload)
+    except ServiceError as error:
+        print(f"submit failed: {error}", file=sys.stderr)
+        return 1
+    job_id = submitted["id"]
+    print(
+        f"submitted {job_id} ({submitted['specs']} specs) to {url}",
+        file=sys.stderr,
+    )
+    if args.no_wait:
+        print(job_id)
+        return 0
+    try:
+        summary = client.wait(job_id)
+        if summary["state"] != "done":
+            print(f"job {job_id} failed: {summary['error']}", file=sys.stderr)
+            return 1
+        pairs, telemetry = client.result(job_id)
+    except ServiceError as error:
+        print(f"job {job_id}: {error}", file=sys.stderr)
+        return 1
+
+    # Results come back workload-major (the grid shape), so regroup into
+    # the same per-workload series a local sweep builds.
+    series = {name: [] for name in BENCHMARK_NAMES}
+    for spec, stats in pairs:
+        series[spec.workload].append(getattr(stats, metric_name))
+    series["average"] = [
+        sum(series[name][index] for name in BENCHMARK_NAMES)
+        / len(BENCHMARK_NAMES)
+        for index in range(len(configs))
+    ]
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "kind": args.kind,
+                    "metric": metric_name,
+                    "x_label": x_label,
+                    "x_values": x_values,
+                    "series": series,
+                    "telemetry": telemetry.to_dict(),
+                    "job": job_id,
+                    "coalesced": summary["coalesced"],
+                }
+            )
+        )
+    else:
+        print(
+            format_series_table(
+                x_label,
+                x_values,
+                series,
+                title=f"{metric_name} sweep [{args.kind}] ({detail})",
+            )
+        )
+    print(
+        f"telemetry: {telemetry.line()} coalesced={summary['coalesced']}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _command_jobs(args) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    url = _service_url(args)
+    client = ServiceClient(url)
+    try:
+        jobs = client.jobs()
+    except ServiceError as error:
+        print(f"jobs failed: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        import json
+
+        print(json.dumps({"jobs": jobs}))
+        return 0
+    rows = [
+        [
+            job["id"],
+            job["state"],
+            job["specs"],
+            job["coalesced"],
+            job["priority"],
+            job["token"],
+            job["error"] or "",
+        ]
+        for job in jobs
+    ]
+    print(
+        format_table(
+            ["job", "state", "specs", "coalesced", "priority", "token", "error"],
+            rows,
+            title=f"jobs at {url}",
+        )
+    )
+    return 0
+
+
+def _command_watch(args) -> int:
+    from repro.exec.pool import RunEvent
+    from repro.service.client import ServiceClient, ServiceError
+
+    url = _service_url(args)
+    client = ServiceClient(url)
+    labels = {
+        "memory": "memo ",
+        "store": "store",
+        "computed": "sim  ",
+        "retry": "retry",
+        "timeout": "stall",
+        "coalesced": "share",
+    }
+    state = "unknown"
+    try:
+        for payload in client.events(args.job, start=args.start):
+            kind = payload.pop("type", None)
+            if kind == "run":
+                event = RunEvent.from_dict(payload)
+                label = labels.get(event.source, event.source)
+                timing = (
+                    f" ({event.seconds:.2f}s)"
+                    if event.source == "computed"
+                    else ""
+                )
+                suffix = " [degraded]" if event.degraded else ""
+                print(
+                    f"[{event.completed}/{event.total}] {label} "
+                    f"{event.key.describe()}{timing}{suffix}"
+                )
+            elif kind == "job":
+                state = payload.get("state", state)
+                line = f"job {payload.get('id', args.job)}: {state}"
+                if payload.get("error"):
+                    line += f" ({payload['error']})"
+                if "telemetry" in payload:
+                    from repro.exec.pool import PoolTelemetry
+
+                    telemetry = PoolTelemetry.from_dict(payload["telemetry"])
+                    line += (
+                        f" — telemetry: {telemetry.line()} "
+                        f"coalesced={payload.get('coalesced', 0)}"
+                    )
+                print(line)
+    except ServiceError as error:
+        print(f"watch failed: {error}", file=sys.stderr)
+        return 1
+    return 0 if state == "done" else 1
+
+
 _COMMANDS = {
     "simulate": _command_simulate,
     "figures": _command_figures,
@@ -454,6 +809,10 @@ _COMMANDS = {
     "report": _command_report,
     "sweep": _command_sweep,
     "store": _command_store,
+    "serve": _command_serve,
+    "submit": _command_submit,
+    "jobs": _command_jobs,
+    "watch": _command_watch,
 }
 
 

@@ -57,6 +57,11 @@ class ExperimentKind:
     #: grid it has seen before — never assume a fixed grid shape or carry
     #: state between calls beyond caches keyed by the inputs themselves.
     batch_runner: Optional[Callable] = None
+    #: Optional config class with ``to_dict``/``from_dict``; kinds that
+    #: register one can round-trip whole :class:`ExperimentSpec`\ s through
+    #: JSON (the experiment service's wire format).  Kinds without one
+    #: still run locally but cannot be submitted over the wire.
+    config_type: Optional[type] = None
 
 
 _REGISTRY: Dict[str, ExperimentKind] = {}
@@ -80,11 +85,15 @@ def register_runner(
     schema_version: int = 1,
     replace: bool = False,
     batch_runner: Optional[Callable] = None,
+    config_type: Optional[type] = None,
 ) -> ExperimentKind:
     """Register (or, with ``replace``, override) an experiment kind.
 
     ``stats_type`` must carry a ``kind`` class attribute equal to ``name``
     plus ``to_dict``/``from_dict`` — the store relies on all three.
+    ``config_type``, when given, must round-trip through
+    ``to_dict``/``from_dict`` too — the experiment service relies on it to
+    rebuild wire-submitted specs.
     """
     if getattr(stats_type, "kind", None) != name:
         raise ConfigurationError(
@@ -96,6 +105,12 @@ def register_runner(
             raise ConfigurationError(
                 f"stats type {stats_type.__name__} lacks {method}()"
             )
+    if config_type is not None:
+        for method in ("to_dict", "from_dict"):
+            if not callable(getattr(config_type, method, None)):
+                raise ConfigurationError(
+                    f"config type {config_type.__name__} lacks {method}()"
+                )
     if not replace and name in _REGISTRY:
         raise ConfigurationError(f"experiment kind {name!r} is already registered")
     kind = ExperimentKind(
@@ -105,6 +120,7 @@ def register_runner(
         engine_version=str(engine_version),
         schema_version=schema_version,
         batch_runner=batch_runner,
+        config_type=config_type,
     )
     _REGISTRY[name] = kind
     return kind

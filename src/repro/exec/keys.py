@@ -23,7 +23,7 @@ import hashlib
 from dataclasses import dataclass
 
 from repro.cache.config import CacheConfig
-from repro.exec.experiments import engine_version_for
+from repro.exec.experiments import engine_version_for, get_kind
 
 
 @dataclass(frozen=True)
@@ -63,6 +63,57 @@ class ExperimentSpec:
         if not self.flush:
             label += " (no flush)"
         return label
+
+    # -- serde ----------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe payload naming the full identity of this experiment.
+
+        Requires the kind to have registered a ``config_type`` (every
+        builtin kind does); the config nests as its own dict.  JSON floats
+        round-trip exactly (shortest-repr), so ``scale`` survives the wire
+        bit-identically and the rebuilt spec hashes to the same digest.
+        """
+        kind = get_kind(self.kind)
+        if kind.config_type is None:
+            raise TypeError(
+                f"experiment kind {self.kind!r} registered no config_type; "
+                "its specs cannot be serialized"
+            )
+        return {
+            "kind": self.kind,
+            "workload": self.workload,
+            "scale": self.scale,
+            "seed": self.seed,
+            "flush": self.flush,
+            "config": self.config.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentSpec":
+        """Inverse of :meth:`to_dict`; unknown keys raise.
+
+        The kind tag selects the registered ``config_type`` whose
+        ``from_dict`` rebuilds (and validates) the nested config.
+        """
+        known = {"kind", "workload", "scale", "seed", "flush", "config"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown ExperimentSpec fields: {sorted(unknown)}")
+        kind = get_kind(payload["kind"])
+        if kind.config_type is None:
+            raise TypeError(
+                f"experiment kind {kind.name!r} registered no config_type; "
+                "its specs cannot be deserialized"
+            )
+        return cls(
+            kind=kind.name,
+            workload=str(payload["workload"]),
+            scale=float(payload["scale"]),
+            seed=int(payload["seed"]),
+            config=kind.config_type.from_dict(payload["config"]),
+            flush=bool(payload.get("flush", True)),
+        )
 
 
 def RunKey(

@@ -51,6 +51,7 @@ fault-injection framework driving the chaos suite lives in
 import heapq
 import os
 import sys
+import threading
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -58,6 +59,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro.common.serde import CounterSerde
 from repro.exec import faults as faults_module
 from repro.exec.experiments import get_kind
 from repro.exec.keys import ExperimentSpec
@@ -171,10 +173,47 @@ class RunEvent:
     attempt: int = 1  #: 1-based try number this event refers to
     degraded: bool = False  #: resolved via bisected-half or inline fallback
 
+    def to_dict(self) -> dict:
+        """JSON-safe payload (the spec nests via its own serde)."""
+        return {
+            "source": self.source,
+            "key": self.key.to_dict(),
+            "seconds": self.seconds,
+            "completed": self.completed,
+            "total": self.total,
+            "attempt": self.attempt,
+            "degraded": self.degraded,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunEvent":
+        """Inverse of :meth:`to_dict`; unknown keys raise, missing default."""
+        known = {
+            "source", "key", "seconds", "completed", "total", "attempt",
+            "degraded",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown RunEvent fields: {sorted(unknown)}")
+        return cls(
+            source=str(payload["source"]),
+            key=ExperimentSpec.from_dict(payload["key"]),
+            seconds=float(payload["seconds"]),
+            completed=int(payload["completed"]),
+            total=int(payload["total"]),
+            attempt=int(payload.get("attempt", 1)),
+            degraded=bool(payload.get("degraded", False)),
+        )
+
 
 @dataclass
-class PoolTelemetry:
-    """Aggregate counters for one :meth:`ExperimentPool.run_many` batch."""
+class PoolTelemetry(CounterSerde):
+    """Aggregate counters for one :meth:`ExperimentPool.run_many` batch.
+
+    Flat counters, so JSON round-trips come free via
+    :class:`~repro.common.serde.CounterSerde` (``to_dict``/``from_dict``);
+    the experiment service ships these over the wire per job.
+    """
 
     requested: int = 0  #: keys passed in, duplicates included
     deduplicated: int = 0  #: unique keys actually resolved
@@ -457,6 +496,11 @@ class ExperimentPool:
         if store is not None and faults is not None:
             store.faults = faults
         self.telemetry = PoolTelemetry()
+        # Serializes whole run_many() batches: concurrent callers (the
+        # experiment service's job workers) queue here instead of racing
+        # on callback/telemetry state.  Reentrant so a caller may hold it
+        # across a batch to read self.telemetry atomically afterwards.
+        self._lock = threading.RLock()
 
     def _emit(
         self, source, key, seconds, completed, total, attempt=1, degraded=False
@@ -535,6 +579,19 @@ class ExperimentPool:
             self.telemetry.degraded_runs += 1
             return False
 
+    @property
+    def lock(self) -> "threading.RLock":
+        """The reentrant lock serializing this pool's batches.
+
+        Callers that need the batch *and* its telemetry atomically under
+        concurrency hold it across both::
+
+            with pool.lock:
+                results = pool.run_many(specs, memo=memo)
+                telemetry = pool.telemetry
+        """
+        return self._lock
+
     def run_many(
         self,
         keys: Iterable[ExperimentSpec],
@@ -547,7 +604,18 @@ class ExperimentPool:
         calls for free).  Telemetry covers exactly this batch; the
         process-wide :func:`aggregate_telemetry` accumulates across
         batches.
+
+        Thread-safe: concurrent callers serialize on :attr:`lock`, so two
+        threads driving one pool run their batches back to back (each
+        batch still fans out across worker processes internally).
+        ``self.telemetry`` describes the most recently finished batch —
+        hold :attr:`lock` across the call and the read if another thread
+        might start a batch in between.
         """
+        with self._lock:
+            return self._run_many_locked(keys, memo)
+
+    def _run_many_locked(self, keys, memo):
         started = time.perf_counter()
         requested = list(keys)
         # Validate every kind up front: an unknown kind should fail the

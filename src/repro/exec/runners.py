@@ -15,11 +15,21 @@ independently.
 
 from repro.buffers.victim_buffer import (
     VICTIM_BUFFER_ENGINE_VERSION,
+    VictimBufferConfig,
     VictimBufferStats,
     dirty_victim_times,
 )
-from repro.buffers.write_buffer import WRITE_BUFFER_ENGINE_VERSION, WriteBufferStats
-from repro.buffers.write_cache import WRITE_CACHE_ENGINE_VERSION, WriteCacheStats
+from repro.buffers.write_buffer import (
+    WRITE_BUFFER_ENGINE_VERSION,
+    WriteBufferConfig,
+    WriteBufferStats,
+)
+from repro.buffers.write_cache import (
+    WRITE_CACHE_ENGINE_VERSION,
+    WriteCacheConfig,
+    WriteCacheStats,
+)
+from repro.cache.config import CacheConfig
 from repro.cache.fastsim import (
     SIMULATOR_VERSION,
     simulate_trace,
@@ -27,7 +37,12 @@ from repro.cache.fastsim import (
 )
 from repro.cache.stats import CacheStats
 from repro.exec.experiments import register_runner
-from repro.hierarchy.system import SYSTEM_ENGINE_VERSION, SystemStats, simulate_system
+from repro.hierarchy.system import (
+    SYSTEM_ENGINE_VERSION,
+    SystemConfig,
+    SystemStats,
+    simulate_system,
+)
 
 
 def run_cache(spec, trace):
@@ -73,23 +88,38 @@ def run_system(spec, trace):
 
 
 register_runner(
-    "cache", run_cache, CacheStats, SIMULATOR_VERSION, batch_runner=run_cache_batch
+    "cache",
+    run_cache,
+    CacheStats,
+    SIMULATOR_VERSION,
+    batch_runner=run_cache_batch,
+    config_type=CacheConfig,
 )
 register_runner(
-    "write_buffer", run_write_buffer, WriteBufferStats, WRITE_BUFFER_ENGINE_VERSION
+    "write_buffer",
+    run_write_buffer,
+    WriteBufferStats,
+    WRITE_BUFFER_ENGINE_VERSION,
+    config_type=WriteBufferConfig,
 )
 register_runner(
-    "write_cache", run_write_cache, WriteCacheStats, WRITE_CACHE_ENGINE_VERSION
+    "write_cache",
+    run_write_cache,
+    WriteCacheStats,
+    WRITE_CACHE_ENGINE_VERSION,
+    config_type=WriteCacheConfig,
 )
 register_runner(
     "victim_buffer",
     run_victim_buffer,
     VictimBufferStats,
     f"{VICTIM_BUFFER_ENGINE_VERSION}+sim{SIMULATOR_VERSION}",
+    config_type=VictimBufferConfig,
 )
 register_runner(
     "system",
     run_system,
     SystemStats,
     f"{SYSTEM_ENGINE_VERSION}+sim{SIMULATOR_VERSION}",
+    config_type=SystemConfig,
 )

@@ -321,6 +321,38 @@ class ResultStore:
             **self.telemetry.snapshot(),
         }
 
+    def records(self, kind: Optional[str] = None) -> List[Dict[str, object]]:
+        """Catalog of current-schema records (for ``GET /v1/runs``).
+
+        Each entry carries the record's content digest, its kind and
+        kind-schema version, and the canonical key string — enough for a
+        client to tell what has already been computed without decoding
+        stats.  Unreadable records are skipped (``stats()`` counts them);
+        ``kind`` filters to one experiment family.
+        """
+        entries: List[Dict[str, object]] = []
+        for path in self._record_paths():
+            if f"v{STORE_SCHEMA}" not in path.parts:
+                continue
+            try:
+                record = json.loads(path.read_text(encoding="utf-8"))
+                record_kind = record["kind"]
+                key = record["key"]
+                kind_schema = record["kind_schema"]
+            except (OSError, ValueError, KeyError, TypeError):
+                continue
+            if kind is not None and record_kind != kind:
+                continue
+            entries.append(
+                {
+                    "digest": path.stem,
+                    "kind": record_kind,
+                    "kind_schema": kind_schema,
+                    "key": key,
+                }
+            )
+        return entries
+
     def clear(self) -> int:
         """Delete every record; returns the number removed."""
         removed = 0

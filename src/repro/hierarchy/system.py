@@ -59,6 +59,25 @@ class SystemConfig:
             extras.append(f"+VC{self.victim_entries}")
         return self.cache.name + "".join(extras)
 
+    def to_dict(self) -> dict:
+        """JSON-safe payload; the L1 config nests as its own dict."""
+        return {
+            "cache": self.cache.to_dict(),
+            "write_cache_entries": self.write_cache_entries,
+            "victim_entries": self.victim_entries,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SystemConfig":
+        """Inverse of :meth:`to_dict`; unknown keys raise, missing default."""
+        unknown = set(payload) - {"cache", "write_cache_entries", "victim_entries"}
+        if unknown:
+            raise ValueError(f"unknown SystemConfig fields: {sorted(unknown)}")
+        data = dict(payload)
+        if "cache" in data:
+            data["cache"] = CacheConfig.from_dict(data["cache"])
+        return cls(**data)
+
 
 @dataclass
 class SystemStats:

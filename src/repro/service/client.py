@@ -1,0 +1,166 @@
+"""Thin ``urllib``-based client for the experiment service.
+
+:class:`ServiceClient` wraps the JSON endpoints of
+:class:`~repro.service.app.ServiceServer` so callers (the ``repro
+submit``/``jobs``/``watch`` subcommands, tests, scripts) never touch
+HTTP by hand.  Responses decode back into the same dataclasses a local
+run produces: :meth:`result` pairs each returned stats payload with its
+spec's kind and rebuilds the registered ``stats_type`` — bit-identical
+to calling the pool directly.
+
+Failures surface as :class:`ServiceError`, which keeps the HTTP status
+(``429`` = queue full, retry later; ``503`` = draining, go elsewhere;
+``400`` = the request itself is malformed).
+"""
+
+import json
+from typing import Dict, Iterator, List, Optional, Tuple
+from urllib.error import HTTPError, URLError
+from urllib.request import Request, urlopen
+
+from repro.exec.keys import ExperimentSpec
+from repro.exec.pool import PoolTelemetry
+from repro.service.protocol import decode_stats
+
+#: Default per-request timeout; event streams wait far longer server-side
+#: but emit keepalive lines well inside this window.
+DEFAULT_TIMEOUT = 30.0
+
+
+class ServiceError(RuntimeError):
+    """An HTTP-level failure talking to the service."""
+
+    def __init__(self, message: str, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """One service endpoint, addressed as ``http://host:port``."""
+
+    def __init__(self, url: str, timeout: float = DEFAULT_TIMEOUT) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _request(
+        self, path: str, payload: Optional[dict] = None
+    ) -> dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = Request(self.url + path, data=data, headers=headers)
+        try:
+            with urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except HTTPError as error:
+            detail = ""
+            try:
+                detail = json.loads(error.read().decode("utf-8")).get("error", "")
+            except (ValueError, OSError):
+                pass
+            raise ServiceError(
+                f"{path}: HTTP {error.code}" + (f": {detail}" if detail else ""),
+                status=error.code,
+            ) from error
+        except URLError as error:
+            raise ServiceError(
+                f"cannot reach service at {self.url}: {error.reason}"
+            ) from error
+
+    # -- endpoints -----------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("/v1/health")
+
+    def telemetry(self) -> dict:
+        return self._request("/v1/telemetry")
+
+    def submit(self, payload: dict) -> dict:
+        """POST one job request; returns ``{"id", "state", "specs", ...}``."""
+        return self._request("/v1/jobs", payload=payload)
+
+    def jobs(self) -> List[dict]:
+        return self._request("/v1/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self._request(f"/v1/jobs/{job_id}")
+
+    def raw_result(self, job_id: str) -> dict:
+        """The result payload as served (specs/stats still wire dicts)."""
+        return self._request(f"/v1/jobs/{job_id}/result")
+
+    def result(
+        self, job_id: str
+    ) -> Tuple[List[Tuple[ExperimentSpec, object]], PoolTelemetry]:
+        """A finished job's ``[(spec, stats), ...]`` plus its telemetry.
+
+        Raises :class:`ServiceError` if the job failed or is not done yet.
+        """
+        payload = self.raw_result(job_id)
+        if payload.get("state") != "done":
+            raise ServiceError(
+                f"job {job_id} is {payload.get('state')}"
+                + (f": {payload['error']}" if payload.get("error") else "")
+            )
+        pairs = []
+        for spec_payload, stats_payload in zip(
+            payload["specs"], payload["results"]
+        ):
+            spec = ExperimentSpec.from_dict(spec_payload)
+            pairs.append((spec, decode_stats(spec.kind, stats_payload)))
+        telemetry = PoolTelemetry.from_dict(payload["telemetry"])
+        return pairs, telemetry
+
+    def events(self, job_id: str, start: int = 0) -> Iterator[dict]:
+        """Stream a job's NDJSON events (keepalives filtered out).
+
+        Yields decoded event dicts until the server closes the stream at
+        the job's terminal event.
+        """
+        request = Request(
+            f"{self.url}/v1/jobs/{job_id}/events?from={start}",
+            headers={"Accept": "application/x-ndjson"},
+        )
+        try:
+            # No read timeout beyond the platform default: the server
+            # emits keepalives every few seconds, so a healthy stream is
+            # never silent for long.
+            response = urlopen(request, timeout=max(self.timeout, 60.0))
+        except HTTPError as error:
+            raise ServiceError(
+                f"events: HTTP {error.code}", status=error.code
+            ) from error
+        except URLError as error:
+            raise ServiceError(
+                f"cannot reach service at {self.url}: {error.reason}"
+            ) from error
+        with response:
+            for raw in response:
+                line = raw.decode("utf-8").strip()
+                if not line:
+                    continue
+                event = json.loads(line)
+                if event.get("type") == "keepalive":
+                    continue
+                yield event
+
+    def wait(self, job_id: str, poll: float = 0.2) -> dict:
+        """Block (by polling) until the job is terminal; returns its summary."""
+        import time
+
+        while True:
+            summary = self.job(job_id)
+            if summary["state"] in ("done", "failed"):
+                return summary
+            time.sleep(poll)
+
+    def store_stats(self) -> Dict[str, object]:
+        return self._request("/v1/store/stats")
+
+    def runs(self, kind: Optional[str] = None) -> List[dict]:
+        path = "/v1/runs" + (f"?kind={kind}" if kind else "")
+        return self._request(path)["records"]

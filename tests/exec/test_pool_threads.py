@@ -1,0 +1,136 @@
+"""Thread-safety of :meth:`ExperimentPool.run_many`.
+
+The experiment service drives one pool from several job-worker threads.
+The pool serializes whole batches on an internal reentrant lock, so
+concurrent callers must (a) all get correct, complete results, and
+(b) be able to read a telemetry snapshot that describes *their* batch by
+holding :attr:`ExperimentPool.lock` across the call and the read.
+"""
+
+import threading
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.exec.experiments import register_runner, unregister_runner
+from repro.exec.keys import ExperimentSpec
+from repro.exec.pool import ExperimentPool, PoolTelemetry
+from repro.exec.store import ResultStore
+
+SCALE = 0.05
+SEED = 1991
+
+
+class _ThreadStats:
+    kind = "threadtoy"
+
+    def __init__(self, value=0):
+        self.value = value
+
+    def to_dict(self):
+        return {"value": self.value}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**data)
+
+    def __eq__(self, other):
+        return isinstance(other, _ThreadStats) and other.value == self.value
+
+
+def _run_threadtoy(spec, trace):
+    return _ThreadStats(value=len(trace) + spec.config.size)
+
+
+@pytest.fixture()
+def toy_kind():
+    register_runner(
+        "threadtoy",
+        _run_threadtoy,
+        _ThreadStats,
+        engine_version="1",
+        config_type=CacheConfig,
+    )
+    yield
+    unregister_runner("threadtoy")
+
+
+def _specs(seeds):
+    # Seeds carry the identity (sizes must be powers of two); the runner's
+    # output only depends on the trace and config, so overlapping specs
+    # must agree bit-for-bit across batches.
+    return [
+        ExperimentSpec(
+            "threadtoy", "ccom", SCALE, seed, CacheConfig(size=1024)
+        )
+        for seed in seeds
+    ]
+
+
+class TestConcurrentRunMany:
+    def test_overlapping_batches_from_many_threads(self, tmp_path, toy_kind):
+        pool = ExperimentPool(store=ResultStore(tmp_path), jobs=1)
+        # Eight threads, overlapping grids: every spec appears in several
+        # batches, so unserialised telemetry/callback state would race.
+        grids = [_specs(range(1, 7 + offset)) for offset in range(8)]
+        results = [None] * len(grids)
+        errors = []
+
+        def worker(index):
+            try:
+                results[index] = pool.run_many(grids[index])
+            except BaseException as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(index,))
+            for index in range(len(grids))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        reference = {}
+        for grid, batch in zip(grids, results):
+            assert batch is not None
+            for spec in grid:
+                stats = batch[spec]
+                assert isinstance(stats, _ThreadStats)
+                assert stats.value > spec.config.size  # trace refs added in
+                # Every batch that resolved this spec agrees bit-for-bit.
+                assert reference.setdefault(spec, stats) == stats
+
+    def test_locked_telemetry_snapshot_is_atomic(self, tmp_path, toy_kind):
+        pool = ExperimentPool(store=ResultStore(tmp_path), jobs=1)
+        snapshots = []
+        barrier = threading.Barrier(4)
+
+        def worker(offset):
+            barrier.wait()
+            batch = _specs(range(100 + offset * 5, 100 + offset * 5 + 5))
+            # The documented idiom: hold the pool lock across the batch
+            # and the telemetry read so no other thread's batch can start
+            # in between and overwrite the counters.
+            with pool.lock:
+                pool.run_many(batch)
+                snapshots.append(
+                    PoolTelemetry.from_dict(pool.telemetry.to_dict())
+                )
+
+        threads = [
+            threading.Thread(target=worker, args=(offset,)) for offset in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert len(snapshots) == 4
+        for snapshot in snapshots:
+            # Each snapshot describes exactly its own 5-spec batch.
+            assert snapshot.requested == 5
+            assert snapshot.deduplicated == 5
+            assert (
+                snapshot.computed + snapshot.store_hits + snapshot.memory_hits
+                == 5
+            )

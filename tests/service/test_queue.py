@@ -1,0 +1,127 @@
+"""Job queue semantics: bounds, priority, fairness; spec-ledger coalescing."""
+
+import threading
+
+import pytest
+
+from repro.buffers.write_cache import WriteCacheConfig
+from repro.exec.keys import ExperimentSpec
+from repro.service.protocol import JobRequest
+from repro.service.queue import (
+    Job,
+    JobQueue,
+    QueueFull,
+    ServiceDraining,
+    SpecLedger,
+)
+
+
+def _job(token="t", priority=0):
+    spec = ExperimentSpec("write_cache", "ccom", 0.05, 7, WriteCacheConfig())
+    return Job(JobRequest(specs=(spec,), priority=priority, token=token))
+
+
+def _spec(entries):
+    return ExperimentSpec(
+        "write_cache", "ccom", 0.05, 7, WriteCacheConfig(entries=entries)
+    )
+
+
+class TestJobQueue:
+    def test_fifo_within_one_token(self):
+        queue = JobQueue(depth=8)
+        jobs = [_job() for _ in range(3)]
+        for job in jobs:
+            queue.push(job)
+        assert [queue.pop(0.1) for _ in range(3)] == jobs
+
+    def test_depth_bound_raises_queue_full(self):
+        queue = JobQueue(depth=2)
+        queue.push(_job())
+        queue.push(_job())
+        with pytest.raises(QueueFull):
+            queue.push(_job())
+        # Popping frees the slot again.
+        assert queue.pop(0.1) is not None
+        queue.push(_job())
+
+    def test_higher_priority_pops_first(self):
+        queue = JobQueue(depth=8)
+        low, high = _job(priority=0), _job(priority=5)
+        queue.push(low)
+        queue.push(high)
+        assert queue.pop(0.1) is high
+        assert queue.pop(0.1) is low
+
+    def test_round_robin_across_tokens_at_equal_priority(self):
+        queue = JobQueue(depth=16)
+        chatty = [_job(token="chatty") for _ in range(4)]
+        polite = [_job(token="polite") for _ in range(2)]
+        for job in chatty:
+            queue.push(job)
+        for job in polite:
+            queue.push(job)
+        order = [queue.pop(0.1).token for _ in range(6)]
+        # Tokens alternate while both hold jobs; the chatty tenant's
+        # backlog never starves the polite one.
+        assert order == ["chatty", "polite", "chatty", "polite", "chatty", "chatty"]
+
+    def test_pop_times_out_empty(self):
+        assert JobQueue(depth=2).pop(timeout=0.05) is None
+
+    def test_close_refuses_pushes_but_drains_remainder(self):
+        queue = JobQueue(depth=4)
+        queued = _job()
+        queue.push(queued)
+        queue.close()
+        with pytest.raises(ServiceDraining):
+            queue.push(_job())
+        assert queue.pop(0.1) is queued
+        assert queue.pop(0.1) is None  # closed and empty
+
+
+class TestSpecLedger:
+    def test_claim_then_subscribe(self):
+        ledger = SpecLedger()
+        first, second = _spec(1), _spec(2)
+        claimed, shared = ledger.claim([first, second], owner="job-a")
+        assert claimed == [first, second] and not shared
+        # A second job overlapping on `first` subscribes instead.
+        claimed_b, shared_b = ledger.claim([first, _spec(3)], owner="job-b")
+        assert [spec.config.entries for spec in claimed_b] == [3]
+        assert list(shared_b) == [first]
+        assert shared_b[first].owner == "job-a"
+
+    def test_fulfill_wakes_subscribers_and_clears_entry(self):
+        ledger = SpecLedger()
+        spec = _spec(1)
+        ledger.claim([spec], owner="job-a")
+        _, shared = ledger.claim([spec], owner="job-b")
+        entry = shared[spec]
+        seen = []
+
+        def subscriber():
+            entry.event.wait(timeout=5)
+            seen.append(entry.stats)
+
+        thread = threading.Thread(target=subscriber)
+        thread.start()
+        ledger.fulfill(spec, "stats-sentinel")
+        thread.join(timeout=5)
+        assert seen == ["stats-sentinel"]
+        # The entry left the table: the next claimant computes (and will
+        # hit the warm store), it does not wait on a spent entry.
+        claimed, shared = ledger.claim([spec], owner="job-c")
+        assert claimed == [spec] and not shared
+
+    def test_release_marks_error_for_subscribers(self):
+        ledger = SpecLedger()
+        spec = _spec(1)
+        ledger.claim([spec], owner="job-a")
+        _, shared = ledger.claim([spec], owner="job-b")
+        boom = RuntimeError("boom")
+        ledger.release(spec, boom)
+        entry = shared[spec]
+        assert entry.event.is_set()
+        assert entry.error is boom
+        assert len(ledger) == 0

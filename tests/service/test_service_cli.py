@@ -1,0 +1,151 @@
+"""CLI surface of the service: submit/jobs/watch plus the --json outputs.
+
+The load-bearing assertion: ``repro submit --json`` against a live
+service produces *exactly* the series ``repro sweep --json`` computes
+locally — same numbers, same shape — because the service adds routing,
+never math.  (CI's service-smoke job asserts the same thing end to end
+over real processes; this is the in-process fast path.)
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.exec.store import open_default_store
+from repro.service.app import ExperimentService, ServiceServer
+
+SCALE = "0.03"
+
+
+@pytest.fixture()
+def service_url():
+    """An in-process server over the (session-tmp) default store."""
+    service = ExperimentService(store=open_default_store(), jobs=1)
+    server = ServiceServer(service, host="127.0.0.1", port=0)
+    server.start_background()
+    yield server.url
+    service.begin_drain()
+    service.stop()
+    server.shutdown()
+
+
+class TestSubmitMatchesSweep:
+    def test_submit_json_equals_sweep_json(self, service_url, capsys):
+        assert main(
+            ["sweep", "--kind", "write_cache", "--scale", SCALE, "--json"]
+        ) == 0
+        local = json.loads(capsys.readouterr().out)
+        assert main(
+            [
+                "submit",
+                "--kind",
+                "write_cache",
+                "--scale",
+                SCALE,
+                "--json",
+                "--url",
+                service_url,
+            ]
+        ) == 0
+        remote = json.loads(capsys.readouterr().out)
+        assert remote["series"] == local["series"]
+        assert remote["x_values"] == local["x_values"]
+        assert remote["metric"] == local["metric"] == "fraction_removed"
+        # The local sweep warmed the shared store, so the service run
+        # computed nothing — bit-identical results straight from disk.
+        assert remote["telemetry"]["computed"] == 0
+
+    def test_submit_table_output_matches_sweep_table(self, service_url, capsys):
+        assert main(["sweep", "--kind", "write_cache", "--scale", SCALE]) == 0
+        local = capsys.readouterr().out
+        assert main(
+            [
+                "submit",
+                "--kind",
+                "write_cache",
+                "--scale",
+                SCALE,
+                "--url",
+                service_url,
+            ]
+        ) == 0
+        assert capsys.readouterr().out == local
+
+
+class TestJobsAndWatch:
+    def test_jobs_lists_submitted_work(self, service_url, capsys):
+        assert main(
+            [
+                "submit",
+                "--kind",
+                "write_cache",
+                "--scale",
+                SCALE,
+                "--url",
+                service_url,
+                "--token",
+                "cli-test",
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["jobs", "--url", service_url, "--json"]) == 0
+        listed = json.loads(capsys.readouterr().out)["jobs"]
+        assert len(listed) == 1
+        assert listed[0]["state"] == "done"
+        assert listed[0]["token"] == "cli-test"
+
+    def test_watch_streams_to_done_and_exits_zero(self, service_url, capsys):
+        assert main(
+            [
+                "submit",
+                "--kind",
+                "write_cache",
+                "--scale",
+                SCALE,
+                "--url",
+                service_url,
+                "--no-wait",
+            ]
+        ) == 0
+        job_id = capsys.readouterr().out.strip()
+        assert main(["watch", job_id, "--url", service_url]) == 0
+        out = capsys.readouterr().out
+        assert f"job {job_id}: done" in out
+
+    def test_watch_unknown_job_fails(self, service_url, capsys):
+        assert main(["watch", "job-999999", "--url", service_url]) == 1
+
+    def test_submit_unreachable_service_fails_cleanly(self, capsys):
+        assert main(
+            [
+                "submit",
+                "--kind",
+                "write_cache",
+                "--url",
+                "http://127.0.0.1:1",  # nothing listens on port 1
+            ]
+        ) == 1
+        assert "submit failed" in capsys.readouterr().err
+
+
+class TestJsonFlags:
+    def test_store_stats_json(self, capsys):
+        assert main(["store", "stats", "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert "records" in stats and "by_kind" in stats
+
+    def test_sweep_json_carries_pool_telemetry(self, capsys):
+        assert main(
+            ["sweep", "--kind", "write_cache", "--scale", SCALE, "--json"]
+        ) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert set(payload) == {
+            "kind", "metric", "x_label", "x_values", "series", "telemetry",
+        }
+        assert "computed" in payload["telemetry"]
+        # The greppable stderr telemetry line survives --json (CI relies
+        # on it for cold/warm store assertions).
+        assert "telemetry: " in captured.err
+        assert "computed=" in captured.err
