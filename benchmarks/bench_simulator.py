@@ -9,17 +9,21 @@ Two entry points:
 
 - As a script (``python benchmarks/bench_simulator.py``): a small smoke
   grid comparing the loop and vector engines across the four write-miss
-  policies, plus a ``batch`` section timing a full figure-style
-  configuration grid through ``simulate_trace_batch`` against per-run
-  vector calls, written to ``BENCH_simulator.json`` as refs/sec plus the
+  policies, a ``batch`` section timing a full figure-style configuration
+  grid through ``simulate_trace_batch`` (profiling pinned off, so it
+  stays a pure vecsim-batching measurement) against per-run vector
+  calls, and an ``rdsim`` section timing the figs 13-16 size-sweep grid
+  through the reuse-distance ladder profiler against that same batched
+  path, written to ``BENCH_simulator.json`` as refs/sec plus the
   speedups.  ``--check BASELINE`` compares the measured *speedups*
   against a committed baseline and fails on a >30% regression
-  (``--tolerance``).  Speedup ratios are compared rather than absolute
-  refs/sec because the ratio is what the vectorisation (and batching)
-  owns — absolute throughput varies with the host, and a CI runner is
-  not the machine the baseline was recorded on.  ``--require-speedup X``
-  additionally demands the default write-back configuration reach at
-  least ``X``.
+  (``--tolerance``); sections absent from the baseline (a freshly added
+  benchmark) warn and record instead of failing.  Speedup ratios are
+  compared rather than absolute refs/sec because the ratio is what the
+  vectorisation (and batching, and profiling) owns — absolute throughput
+  varies with the host, and a CI runner is not the machine the baseline
+  was recorded on.  ``--require-speedup X`` additionally demands the
+  default write-back configuration reach at least ``X``.
 """
 
 import argparse
@@ -48,6 +52,30 @@ SMOKE_CONFIGS = [
     ("wt-write-invalidate", WriteHitPolicy.WRITE_THROUGH, WriteMissPolicy.WRITE_INVALIDATE),
 ]
 DEFAULT_CONFIG = SMOKE_CONFIGS[0][0]
+
+#: Every legal (write-hit, write-miss) pairing — the full policy axis of
+#: the figs 13-16 grids (write-back cannot pair with the no-allocate
+#: miss policies).
+ALL_POLICY_COMBOS = [
+    (WriteHitPolicy.WRITE_BACK, WriteMissPolicy.FETCH_ON_WRITE),
+    (WriteHitPolicy.WRITE_BACK, WriteMissPolicy.WRITE_VALIDATE),
+    (WriteHitPolicy.WRITE_THROUGH, WriteMissPolicy.FETCH_ON_WRITE),
+    (WriteHitPolicy.WRITE_THROUGH, WriteMissPolicy.WRITE_VALIDATE),
+    (WriteHitPolicy.WRITE_THROUGH, WriteMissPolicy.WRITE_AROUND),
+    (WriteHitPolicy.WRITE_THROUGH, WriteMissPolicy.WRITE_INVALIDATE),
+]
+
+
+def size_ladder_grid():
+    """The figs 13-16 size axis: every legal policy combination across
+    the 1-128 KB cache-size sweep at 16 B lines — the pure size-only
+    shape the reuse-distance profiler collapses into one pass per
+    policy-independent profile."""
+    return [
+        CacheConfig(size=size_kb * 1024, line_size=16, write_hit=hit, write_miss=miss)
+        for hit, miss in ALL_POLICY_COMBOS
+        for size_kb in (1, 2, 4, 8, 16, 32, 64, 128)
+    ]
 
 
 def batch_grid():
@@ -121,6 +149,19 @@ def test_batch_grid_throughput(benchmark, trace):
     assert len(results) == len(grid)
 
 
+def test_rdsim_ladder_grid_throughput(benchmark, trace):
+    # The profiled sweep path: the figs 13-16 size grid collapsed through
+    # reuse-distance ladders, cold plans each round like the batch above.
+    grid = size_ladder_grid()
+
+    def run():
+        vecsim.clear_plan_cache()
+        return simulate_trace_batch(trace, grid, profile=True)
+
+    results = benchmark(run)
+    assert len(results) == len(grid)
+
+
 def test_trace_generation_throughput(benchmark):
     from repro.trace.workloads import WORKLOADS
 
@@ -162,6 +203,7 @@ def run_smoke_grid(workload="grr", scale=0.3, repeats=3):
             "speedup": round(vector / loop, 2),
         }
     report["batch"] = _bench_batch_grid(trace, repeats)
+    report["rdsim"] = _bench_rdsim_grid(trace, repeats)
     return report
 
 
@@ -170,7 +212,9 @@ def _bench_batch_grid(trace, repeats):
 
     Both sides start cold — the batch clears the plan cache each round —
     so the batched speedup honestly includes plan construction, exactly
-    the cost a pool worker pays per (trace, grid) task.
+    the cost a pool worker pays per (trace, grid) task.  Profiling is
+    pinned off: this section owns the vecsim-batching ratio, the
+    ``rdsim`` section owns the profiler's.
     """
     grid = batch_grid()
     grid_refs = len(trace) * len(grid)
@@ -186,7 +230,7 @@ def _bench_batch_grid(trace, repeats):
     for _ in range(repeats):
         vecsim.clear_plan_cache()
         started = time.perf_counter()
-        simulate_trace_batch(trace, grid)
+        simulate_trace_batch(trace, grid, profile=False)
         batch_best = min(batch_best, time.perf_counter() - started)
 
     return {
@@ -195,6 +239,40 @@ def _bench_batch_grid(trace, repeats):
         "single_vector_refs_per_sec": round(grid_refs / single_best),
         "batch_refs_per_sec": round(grid_refs / batch_best),
         "speedup": round(single_best / batch_best, 2),
+    }
+
+
+def _bench_rdsim_grid(trace, repeats):
+    """Size-sweep grid refs/sec: batched vecsim vs the ladder profiler.
+
+    Same grid, same cold-start rules (plan cache cleared each round, the
+    profiler builds its ladders from scratch), so the speedup is exactly
+    what the default ``auto`` dispatch gains over the previous batched
+    path on the figs 13-16 size sweeps.
+    """
+    grid = size_ladder_grid()
+    grid_refs = len(trace) * len(grid)
+
+    batch_best = float("inf")
+    for _ in range(repeats):
+        vecsim.clear_plan_cache()
+        started = time.perf_counter()
+        simulate_trace_batch(trace, grid, profile=False)
+        batch_best = min(batch_best, time.perf_counter() - started)
+
+    rdsim_best = float("inf")
+    for _ in range(repeats):
+        vecsim.clear_plan_cache()
+        started = time.perf_counter()
+        simulate_trace_batch(trace, grid, profile=True)
+        rdsim_best = min(rdsim_best, time.perf_counter() - started)
+
+    return {
+        "grid_configs": len(grid),
+        "grid_refs": grid_refs,
+        "batch_refs_per_sec": round(grid_refs / batch_best),
+        "rdsim_refs_per_sec": round(grid_refs / rdsim_best),
+        "speedup": round(batch_best / rdsim_best, 2),
     }
 
 
@@ -236,12 +314,25 @@ def measure_fault_gate_overhead(trace, config, repeats=3, calls=100_000):
     }
 
 
+#: Grid-level report sections carrying a ``speedup`` the baseline gates.
+GRID_SECTIONS = ("batch", "rdsim")
+
+
 def check_against_baseline(report, baseline, tolerance):
-    """Names of configs whose speedup regressed beyond ``tolerance``."""
+    """``(regressions, notes)``: speedups past ``tolerance``, and report
+    entries the baseline has no record of yet.
+
+    A missing baseline entry is not a regression — it is a benchmark
+    added after the baseline was recorded (the freshly written report
+    becomes its first record), so it lands in ``notes`` instead of
+    failing the run.
+    """
     regressions = []
+    notes = []
     for name, measured in report["configs"].items():
         recorded = baseline.get("configs", {}).get(name)
         if recorded is None:
+            notes.append(f"{name}: no baseline entry; recorded for future runs")
             continue
         floor = (1.0 - tolerance) * recorded["speedup"]
         if measured["speedup"] < floor:
@@ -249,17 +340,25 @@ def check_against_baseline(report, baseline, tolerance):
                 f"{name}: speedup {measured['speedup']:.2f} < "
                 f"{floor:.2f} (baseline {recorded['speedup']:.2f} - {tolerance:.0%})"
             )
-    recorded_batch = baseline.get("batch")
-    measured_batch = report.get("batch")
-    if recorded_batch is not None and measured_batch is not None:
-        floor = (1.0 - tolerance) * recorded_batch["speedup"]
-        if measured_batch["speedup"] < floor:
+    for section in GRID_SECTIONS:
+        measured = report.get(section)
+        if measured is None:
+            continue
+        recorded = baseline.get(section)
+        if recorded is None:
+            notes.append(
+                f"{section}: section missing from baseline; recorded for "
+                "future runs"
+            )
+            continue
+        floor = (1.0 - tolerance) * recorded["speedup"]
+        if measured["speedup"] < floor:
             regressions.append(
-                f"batch: speedup {measured_batch['speedup']:.2f} < "
-                f"{floor:.2f} (baseline {recorded_batch['speedup']:.2f} - "
+                f"{section}: speedup {measured['speedup']:.2f} < "
+                f"{floor:.2f} (baseline {recorded['speedup']:.2f} - "
                 f"{tolerance:.0%})"
             )
-    return regressions
+    return regressions, notes
 
 
 def main(argv=None):
@@ -322,10 +421,20 @@ def main(argv=None):
         f" Mref/s  batch {batch['batch_refs_per_sec'] / 1e6:6.2f} Mref/s  "
         f"speedup {batch['speedup']:.2f}x ({batch['grid_configs']} configs)"
     )
+    ladder = report["rdsim"]
+    print(
+        f"{'rdsim-size-grid':22s} batch  {ladder['batch_refs_per_sec'] / 1e6:5.2f}"
+        f" Mref/s  rdsim {ladder['rdsim_refs_per_sec'] / 1e6:7.2f} Mref/s  "
+        f"speedup {ladder['speedup']:.2f}x ({ladder['grid_configs']} configs)"
+    )
 
     failed = False
     if baseline is not None:
-        regressions = check_against_baseline(report, baseline, options.tolerance)
+        regressions, notes = check_against_baseline(
+            report, baseline, options.tolerance
+        )
+        for line in notes:
+            print(f"NOTE {line}", file=sys.stderr)
         for line in regressions:
             print(f"REGRESSION {line}", file=sys.stderr)
         failed = failed or bool(regressions)

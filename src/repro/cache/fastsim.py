@@ -24,12 +24,22 @@ entire list of configurations to :func:`vecsim.simulate_batch` so the
 trace-side passes are paid once per ``(line_size, num_sets)`` instead of
 once per run; unsupported configurations in the batch transparently take
 the per-run engines above.
+
+Under the default ``auto`` backend the batch entry point goes one step
+further: sub-grids that vary only in cache size (two or more distinct
+``num_sets`` at one line size) collapse through the reuse-distance
+profiler (:mod:`repro.cache.rdsim`), which serves every size on the
+ladder from a single profiling pass.  The profiler is bit-identical to
+vecsim for every shape it accepts and falls back to vecsim for the rest,
+so results never depend on the route taken.  Set ``$REPRO_SIM_PROFILE=0``
+(or pass ``profile=False``) to opt out; a pinned ``vector`` backend also
+bypasses the profiler, so benchmarks can still measure pure vecsim.
 """
 
 import os
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
-from repro.cache import vecsim
+from repro.cache import rdsim, vecsim
 from repro.cache.cache import Cache
 from repro.cache.config import CacheConfig
 from repro.cache.policies import WriteMissPolicy
@@ -47,7 +57,18 @@ SIMULATOR_VERSION = 1
 #: Environment variable pinning the simulation engine.
 ENV_BACKEND = "REPRO_SIM_BACKEND"
 
+#: Environment variable opting out of reuse-distance profiling in batch
+#: dispatch (mirrors ``$REPRO_SIM_BATCH``: anything but 0/false/off keeps
+#: the default on).
+ENV_PROFILE = "REPRO_SIM_PROFILE"
+
 _BACKENDS = ("auto", "vector", "loop", "reference")
+
+
+def profiling_default() -> bool:
+    """Whether batch dispatch may collapse size ladders through rdsim."""
+    flag = os.environ.get(ENV_PROFILE, "1").strip().lower()
+    return flag not in ("0", "false", "off")
 
 
 def _resolve_backend(backend):
@@ -94,37 +115,96 @@ def simulate_trace(
     return vecsim.simulate_direct_mapped(trace, config, flush)
 
 
-def simulate_trace_batch(
+def _ladder_indices(configs, batchable) -> List[int]:
+    """Batchable indices whose line-size group spans >= 2 cache sizes.
+
+    A single-size group gains nothing from a ladder profile (one level
+    costs about one vecsim run), so it stays on the plain batched path.
+    """
+    sizes_by_line: dict = {}
+    for index in batchable:
+        config = configs[index]
+        sizes_by_line.setdefault(config.line_size, set()).add(config.num_sets)
+    ladders = {line for line, sizes in sizes_by_line.items() if len(sizes) >= 2}
+    return [index for index in batchable if configs[index].line_size in ladders]
+
+
+def simulate_trace_batch_info(
     trace: Trace,
     configs: Sequence[CacheConfig],
     flush: bool = True,
     backend: str = None,
-) -> List[CacheStats]:
-    """Run ``trace`` through every configuration in ``configs``.
+    profile: bool = None,
+) -> Tuple[List[CacheStats], rdsim.ProfileInfo]:
+    """:func:`simulate_trace_batch` plus how the work was divided.
 
-    Returns one :class:`CacheStats` per config, in input order, each
-    bit-identical to ``simulate_trace(trace, config, flush, backend)``
-    for that config alone — the batched kernel shares the
-    config-independent trace passes, never the semantics.  Configurations
-    the vector kernel does not cover (set-associative, data-carrying,
-    sectored) fall back to per-run engines inside the batch; a pinned
-    ``backend`` other than ``auto``/``vector`` runs everything per-run.
+    The returned :class:`rdsim.ProfileInfo` counts configs served from
+    reuse-distance ladder profiles (``profiled_runs``), distinct
+    profiling passes (``profile_passes``) and profiler-declined configs
+    served by the vecsim fallback inside :func:`rdsim.simulate_ladder`
+    (``fallback_runs``); configs that never routed through the profiler
+    appear in none of them.  ``profile`` overrides
+    :func:`profiling_default`; profiling only engages under the ``auto``
+    backend, so pinning ``vector`` measures pure vecsim batching.
     """
     choice = _resolve_backend(backend)
+    use_profile = profiling_default() if profile is None else bool(profile)
     configs = list(configs)
     results: List[CacheStats] = [None] * len(configs)
+    info = rdsim.ProfileInfo()
     batchable = []
     for index, config in enumerate(configs):
         if choice in ("auto", "vector") and vecsim.supports(config):
             batchable.append(index)
         else:
             results[index] = simulate_trace(trace, config, flush=flush, backend=choice)
+    if batchable and use_profile and choice == "auto" and len(trace):
+        ladder = _ladder_indices(configs, batchable)
+        if ladder:
+            ladder_results, ladder_info = rdsim.simulate_ladder_info(
+                trace, [configs[index] for index in ladder], flush=flush
+            )
+            for index, stats in zip(ladder, ladder_results):
+                results[index] = stats
+            info.profiled_runs = ladder_info.profiled_runs
+            info.profile_passes = ladder_info.profile_passes
+            info.fallback_runs = ladder_info.fallback_runs
+            served = set(ladder)
+            batchable = [index for index in batchable if index not in served]
     if batchable:
         batched = vecsim.simulate_batch(
             trace, [configs[index] for index in batchable], flush
         )
         for index, stats in zip(batchable, batched):
             results[index] = stats
+    return results, info
+
+
+def simulate_trace_batch(
+    trace: Trace,
+    configs: Sequence[CacheConfig],
+    flush: bool = True,
+    backend: str = None,
+    profile: bool = None,
+) -> List[CacheStats]:
+    """Run ``trace`` through every configuration in ``configs``.
+
+    Returns one :class:`CacheStats` per config, in input order, each
+    bit-identical to ``simulate_trace(trace, config, flush, backend)``
+    for that config alone — the batched kernels share the
+    config-independent trace passes, never the semantics.  Under the
+    ``auto`` backend, sub-grids spanning two or more cache sizes at one
+    line size collapse through the reuse-distance profiler (disable with
+    ``profile=False`` or ``$REPRO_SIM_PROFILE=0``); the rest of the
+    supported configs share one :func:`vecsim.simulate_batch` call.
+    Configurations the vector kernel does not cover (set-associative,
+    data-carrying, sectored) fall back to per-run engines inside the
+    batch; a pinned ``backend`` other than ``auto``/``vector`` runs
+    everything per-run.
+    """
+    results, _ = simulate_trace_batch_info(
+        trace, configs, flush=flush, backend=backend, profile=profile
+    )
     return results
 
 

@@ -67,6 +67,9 @@ def sweep_experiments(
     # Workload-major order: each workload's whole config grid is
     # contiguous, so the pool's batched dispatch sees one maximal group
     # per trace and serial execution reuses each trace plan back to back.
+    # Handing the grid over whole also lets batch dispatch collapse its
+    # size axis: every cache size sharing a line size is served from one
+    # reuse-distance ladder profile (see repro.cache.rdsim).
     specs = {
         (name, index): experiment_key(
             kind, name, config, scale=scale, flush=flush

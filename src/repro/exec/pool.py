@@ -228,6 +228,8 @@ class PoolTelemetry(CounterSerde):
     timeouts: int = 0  #: tasks abandoned past their deadline
     pool_rebuilds: int = 0  #: worker pools torn down and recreated
     degraded_runs: int = 0  #: runs resolved via bisected halves or inline
+    profiled_runs: int = 0  #: runs served from a reuse-distance ladder profile
+    profile_passes: int = 0  #: profiling passes paid (one per ladder line size)
 
     @property
     def runs_per_batch(self) -> float:
@@ -249,6 +251,8 @@ class PoolTelemetry(CounterSerde):
         self.timeouts += other.timeouts
         self.pool_rebuilds += other.pool_rebuilds
         self.degraded_runs += other.degraded_runs
+        self.profiled_runs += other.profiled_runs
+        self.profile_passes += other.profile_passes
 
     def line(self) -> str:
         """Stable machine-greppable summary (CI asserts on ``computed=``)."""
@@ -261,7 +265,9 @@ class PoolTelemetry(CounterSerde):
             f"runs_per_batch={self.runs_per_batch:.1f} "
             f"retries={self.retries} timeouts={self.timeouts} "
             f"pool_rebuilds={self.pool_rebuilds} "
-            f"degraded_runs={self.degraded_runs}"
+            f"degraded_runs={self.degraded_runs} "
+            f"profiled_runs={self.profiled_runs} "
+            f"profile_passes={self.profile_passes}"
         )
 
 
@@ -356,14 +362,17 @@ def _execute_shared(spec: ExperimentSpec, handle, attempt: int = 0, plan=None) -
     return stats, seconds, checksum
 
 
-def _execute_batch(specs, handle, attempts=None, plan=None) -> Tuple[list, float, Optional[list]]:
+def _execute_batch(specs, handle, attempts=None, plan=None) -> Tuple[list, float, Optional[list], Optional[dict]]:
     """Run a group of same-trace specs through their kind's batch runner.
 
     ``handle`` is an optional shared-memory trace handle (None means
     regenerate in-process); ``attempts`` aligns per-spec attempt numbers
     with ``specs`` for fault decisions.  Returns the per-spec stats list
-    in spec order, the wall-time of the whole batched call, and per-spec
-    integrity checksums when a fault plan is active.
+    in spec order, the wall-time of the whole batched call, per-spec
+    integrity checksums when a fault plan is active, and the kind's
+    dispatch counters (``None`` for kinds without an
+    ``info_batch_runner``) — a plain dict so the tuple pickles cleanly
+    back from worker processes.
     """
     from repro.trace.corpus import load
 
@@ -385,7 +394,12 @@ def _execute_batch(specs, handle, attempts=None, plan=None) -> Tuple[list, float
         spec = specs[0]
         trace = load(spec.workload, scale=spec.scale, seed=spec.seed)
     started = time.perf_counter()
-    stats_list = list(kind.batch_runner(specs, trace))
+    if kind.info_batch_runner is not None:
+        stats_list, info = kind.info_batch_runner(specs, trace)
+        stats_list = list(stats_list)
+    else:
+        stats_list = list(kind.batch_runner(specs, trace))
+        info = None
     seconds = time.perf_counter() - started
     if len(stats_list) != len(specs):
         raise RuntimeError(
@@ -399,7 +413,7 @@ def _execute_batch(specs, handle, attempts=None, plan=None) -> Tuple[list, float
             faults_module.corrupt_result(plan, spec, attempt, stats)
             for spec, attempt, stats in zip(specs, attempts, stats_list)
         ]
-    return stats_list, seconds, checksums
+    return stats_list, seconds, checksums, info
 
 
 def _abandon_executor(executor) -> None:
@@ -686,9 +700,12 @@ class ExperimentPool:
                 degraded=bool(task is not None and task.degraded),
             )
 
-        def resolve_batch(task, stats_list, seconds):
+        def resolve_batch(task, stats_list, seconds, info=None):
             telemetry.batches += 1
             telemetry.batched_runs += len(task.specs)
+            if info:
+                telemetry.profiled_runs += int(info.get("profiled_runs", 0))
+                telemetry.profile_passes += int(info.get("profile_passes", 0))
             # The batched call is one timed unit; attribute its wall-time
             # evenly so per-run sim_seconds still sum to engine time.
             share = seconds / len(task.specs)
@@ -698,13 +715,13 @@ class ExperimentPool:
         def deliver(task, payload):
             """Verify a task's payload and resolve it; raises on corruption."""
             if task.batched:
-                stats_list, seconds, checksums = payload
+                stats_list, seconds, checksums, info = payload
                 if checksums is not None:
                     for spec, stats, checksum in zip(
                         task.specs, stats_list, checksums
                     ):
                         faults_module.verify_result(spec, stats, checksum)
-                resolve_batch(task, stats_list, seconds)
+                resolve_batch(task, stats_list, seconds, info)
             else:
                 stats, seconds, checksum = payload
                 faults_module.verify_result(task.specs[0], stats, checksum)

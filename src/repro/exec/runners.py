@@ -34,6 +34,7 @@ from repro.cache.fastsim import (
     SIMULATOR_VERSION,
     simulate_trace,
     simulate_trace_batch,
+    simulate_trace_batch_info,
 )
 from repro.cache.stats import CacheStats
 from repro.exec.experiments import register_runner
@@ -65,6 +66,28 @@ def run_cache_batch(specs, trace):
     return simulate_trace_batch(trace, [spec.config for spec in specs], flush=flush)
 
 
+def run_cache_batch_info(specs, trace):
+    """:func:`run_cache_batch` plus dispatch counters for telemetry.
+
+    Returns ``(stats_list, counters)`` where ``counters`` reports how
+    many runs were served from reuse-distance ladder profiles and how
+    many profiling passes were paid (see
+    :func:`repro.cache.fastsim.simulate_trace_batch_info`).  The stats
+    list is bit-identical to :func:`run_cache_batch` — the profiler is a
+    routing decision, not a semantic one — so batch bisection may mix
+    the two entry points freely.
+    """
+    flush = specs[0].flush
+    assert all(spec.flush == flush for spec in specs)
+    results, info = simulate_trace_batch_info(
+        trace, [spec.config for spec in specs], flush=flush
+    )
+    return results, {
+        "profiled_runs": info.profiled_runs,
+        "profile_passes": info.profile_passes,
+    }
+
+
 def run_write_buffer(spec, trace):
     """Coalescing write buffer timing model (no flush concept: the buffer
     always drains on its own; ``spec.flush`` is identity-only here)."""
@@ -93,6 +116,7 @@ register_runner(
     CacheStats,
     SIMULATOR_VERSION,
     batch_runner=run_cache_batch,
+    info_batch_runner=run_cache_batch_info,
     config_type=CacheConfig,
 )
 register_runner(

@@ -343,6 +343,8 @@ class ExperimentService:
 
     def telemetry_snapshot(self) -> dict:
         """Service counters plus queue/job gauges (the ``/v1/telemetry`` body)."""
+        from repro.exec.pool import aggregate_telemetry
+
         with self._telemetry_lock:
             counters = self.telemetry.to_dict()
         states: Dict[str, int] = {}
@@ -351,6 +353,10 @@ class ExperimentService:
         return {
             "protocol": PROTOCOL_VERSION,
             "service": counters,
+            # Process-wide pool counters: every batch this service ran,
+            # including profiled_runs/profile_passes from size-ladder
+            # collapses (per-job slices live in each job's result body).
+            "pool": aggregate_telemetry().to_dict(),
             "queue_depth": len(self.queue),
             "queue_bound": self.queue.depth,
             "in_flight_specs": len(self.ledger),

@@ -12,6 +12,7 @@ and this dict regenerated in the same commit.
 
 import pytest
 
+from repro.cache import rdsim
 from repro.cache.config import CacheConfig
 from repro.cache.fastsim import simulate_trace, simulate_trace_batch
 from repro.trace.corpus import load
@@ -73,3 +74,22 @@ def test_every_engine_matches_golden(golden_trace, backend):
 def test_batched_kernel_matches_golden(golden_trace):
     (stats,) = simulate_trace_batch(golden_trace, [GOLDEN_CONFIG], flush=True)
     assert stats.to_dict() == GOLDEN_STATS
+
+
+def test_ladder_profiler_matches_golden(golden_trace):
+    (stats,) = rdsim.simulate_ladder(golden_trace, [GOLDEN_CONFIG], flush=True)
+    assert stats.to_dict() == GOLDEN_STATS
+
+
+def test_profiled_size_ladder_contains_golden(golden_trace):
+    # The golden config embedded in a full size ladder: the profiler's
+    # shared pass must reproduce the pinned row exactly, and batch
+    # dispatch must route the ladder through it by default.
+    ladder = [
+        CacheConfig(size=1024 << level, line_size=16) for level in range(4)
+    ]
+    stats, info = rdsim.simulate_ladder_info(golden_trace, ladder, flush=True)
+    assert info.profiled_runs == len(ladder) and info.profile_passes == 1
+    assert stats[0].to_dict() == GOLDEN_STATS
+    dispatched = simulate_trace_batch(golden_trace, ladder, flush=True)
+    assert dispatched[0].to_dict() == GOLDEN_STATS

@@ -19,6 +19,7 @@ import numpy as np
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.cache import rdsim
 from repro.cache.config import CacheConfig
 from repro.cache.fastsim import simulate_trace, simulate_trace_batch
 from repro.cache.policies import WriteHitPolicy, WriteMissPolicy
@@ -145,6 +146,10 @@ def run_all_engines(trace: Trace, config: CacheConfig, flush: bool):
         "loop": simulate_trace(trace, config, flush=flush, backend="loop"),
         "vector": simulate_trace(trace, config, flush=flush, backend="vector"),
         "batch": simulate_trace_batch(trace, [config], flush=flush)[0],
+        # A one-config grid is a one-level ladder: the profiler still
+        # runs its full machinery (or falls back to vecsim for the
+        # shapes it declines) and must agree with everything else.
+        "ladder": rdsim.simulate_ladder(trace, [config], flush=flush)[0],
     }
 
 
@@ -171,6 +176,33 @@ def test_batched_grid_matches_per_run_reference(grid_cases, data):
     batched = simulate_trace_batch(base.trace, grid, flush=flush)
     for config, stats in zip(grid, batched):
         expected = simulate_trace(base.trace, config, flush=flush, backend="reference")
+        assert stats.to_dict() == expected.to_dict(), config.describe()
+
+
+@given(case=cases(), data=st.data())
+@settings(**COMMON_SETTINGS)
+def test_size_ladder_profile_matches_per_run_reference(case, data):
+    # The profiler's home turf: one trace, one line size, a whole ladder
+    # of cache sizes collapsed through a single profiling pass.  Every
+    # rung must match the per-run reference simulator.
+    line_size = case.config.line_size
+    levels = data.draw(st.integers(min_value=2, max_value=7))
+    ladder = [
+        CacheConfig(
+            size=line_size * (1 << level),
+            line_size=line_size,
+            write_hit=case.config.write_hit,
+            write_miss=case.config.write_miss,
+            valid_granularity=case.config.valid_granularity,
+            subblock_dirty_writeback=case.config.subblock_dirty_writeback,
+        )
+        for level in range(levels)
+    ]
+    profiled = rdsim.simulate_ladder(case.trace, ladder, flush=case.flush)
+    for config, stats in zip(ladder, profiled):
+        expected = simulate_trace(
+            case.trace, config, flush=case.flush, backend="reference"
+        )
         assert stats.to_dict() == expected.to_dict(), config.describe()
 
 
