@@ -8,6 +8,11 @@
   (Figs 6-9), optionally with victim-cache functionality.
 - :class:`repro.buffers.victim_buffer.DirtyVictimBuffer` — the write-back
   cache's counterpart buffer (Table 3).
+- :class:`repro.buffers.victim_cache.VictimCache`,
+  :class:`repro.buffers.miss_cache.MissCache` and
+  :class:`repro.buffers.stream_buffer.StreamBuffer` — the Jouppi-1990
+  miss-side structures a hierarchy level can attach (reference [10];
+  compared head-to-head by the mechanism-comparison figure).
 """
 
 from repro.buffers.write_buffer import (
@@ -32,6 +37,18 @@ from repro.buffers.victim_cache import (
     VictimCacheStats,
     attach_victim_cache,
 )
+from repro.buffers.miss_cache import (
+    MissCache,
+    MissCacheBackend,
+    MissCacheStats,
+    attach_miss_cache,
+)
+from repro.buffers.stream_buffer import (
+    StreamBuffer,
+    StreamBufferBackend,
+    StreamBufferStats,
+    attach_stream_buffer,
+)
 
 __all__ = [
     "CoalescingWriteBuffer",
@@ -48,4 +65,12 @@ __all__ = [
     "VictimCacheBackend",
     "VictimCacheStats",
     "attach_victim_cache",
+    "MissCache",
+    "MissCacheBackend",
+    "MissCacheStats",
+    "attach_miss_cache",
+    "StreamBuffer",
+    "StreamBufferBackend",
+    "StreamBufferStats",
+    "attach_stream_buffer",
 ]

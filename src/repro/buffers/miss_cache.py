@@ -1,0 +1,146 @@
+"""Miss cache (Jouppi 1990, the paper's reference [10]).
+
+A small fully-associative buffer that allocates the missed line on *every*
+miss of the cache above it — unlike the victim cache it duplicates lines
+still resident above, so it converts short-reuse conflict misses into
+buffer hits without waiting for the line to be replaced first.  Jouppi
+found the victim cache strictly better per entry, which is exactly the
+comparison the mechanism-comparison figure draws; the structure exists
+here so that comparison can be measured, not assumed.
+
+:class:`MissCacheBackend` composes it between a
+:class:`~repro.cache.cache.Cache` and the next level: fetches probe the
+buffer first, and only probe misses propagate downstream (where they are
+also inserted, allocate-on-any-miss).  Entries are never dirty — stores
+take the normal write-back/write-through paths untouched — so the
+structure is stats-only and adds no flush traffic.
+"""
+
+from dataclasses import dataclass
+from typing import ClassVar, Dict
+
+from repro.common.bitops import log2_int
+from repro.common.errors import ConfigurationError
+from repro.common.lru import LruTracker
+from repro.common.serde import CounterSerde
+from repro.cache.backend import Backend
+
+
+@dataclass
+class MissCacheStats(CounterSerde):
+    """Counters for one miss-cache run."""
+
+    kind: ClassVar[str] = "miss_cache"
+
+    inserts: int = 0  #: lines allocated on a probe miss
+    fetch_probes: int = 0  #: primary-cache misses that probed here
+    hits: int = 0  #: probes serviced without a downstream fetch
+    evictions: int = 0  #: entries displaced by newer allocations
+
+    @property
+    def hit_fraction(self) -> float:
+        """Fraction of primary-cache misses serviced by the miss cache."""
+        return self.hits / self.fetch_probes if self.fetch_probes else 0.0
+
+
+class MissCache:
+    """Small fully-associative LRU buffer allocated on every miss.
+
+    Lines are tracked at byte granularity (a valid mask per line) so
+    sub-block fetch spans allocate and hit exactly the bytes they cover.
+    """
+
+    def __init__(self, entries: int, line_size: int) -> None:
+        if entries < 1:
+            raise ConfigurationError("miss cache needs at least one entry")
+        log2_int(line_size)
+        self.entries = entries
+        self.line_size = line_size
+        self.stats = MissCacheStats()
+        self._lru = LruTracker()
+        #: line_address -> valid_mask
+        self._lines: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def probe(self, line_address: int, span_mask: int) -> bool:
+        """Are all of ``span_mask``'s bytes of this line buffered?"""
+        valid = self._lines.get(line_address)
+        if valid is None or (valid & span_mask) != span_mask:
+            return False
+        self._lru.touch(line_address)
+        return True
+
+    def insert(self, line_address: int, span_mask: int) -> None:
+        """Allocate (or widen) a line after a downstream fetch."""
+        self.stats.inserts += 1
+        if line_address in self._lru:
+            self._lines[line_address] |= span_mask
+            self._lru.touch(line_address)
+            return
+        if len(self._lru) >= self.entries:
+            evicted = self._lru.evict()
+            del self._lines[evicted]
+            self.stats.evictions += 1
+        self._lru.touch(line_address)
+        self._lines[line_address] = span_mask
+
+    def clear(self) -> None:
+        """Drop every entry (no traffic: miss-cache lines are never dirty)."""
+        self._lru.clear()
+        self._lines.clear()
+
+
+class MissCacheBackend(Backend):
+    """Compose a miss cache between a primary cache and the next level.
+
+    Stats-only: the buffer holds addresses, not data, so it can only sit
+    under a cache that is itself stats-only (``fetch`` returning ``None``
+    is indistinguishable from a data fetch there).
+    """
+
+    def __init__(self, miss_cache: MissCache, memory: Backend) -> None:
+        self.miss_cache = miss_cache
+        self.memory = memory
+
+    def _span(self, address: int, size: int):
+        line_size = self.miss_cache.line_size
+        base = address & ~(line_size - 1)
+        offset = address - base
+        span_mask = ((1 << size) - 1) << offset
+        return base, span_mask
+
+    def fetch(self, address: int, size: int):
+        self.miss_cache.stats.fetch_probes += 1
+        base, span_mask = self._span(address, size)
+        if self.miss_cache.probe(base, span_mask):
+            self.miss_cache.stats.hits += 1
+            return None
+        result = self.memory.fetch(address, size)
+        self.miss_cache.insert(base, span_mask)
+        return result
+
+    def write_back(self, line_address: int, line_size: int, dirty_mask: int, data=None):
+        # Dirty victims bypass the buffer (its entries are never dirty);
+        # any stale duplicate simply re-fetches on its next probe span.
+        self.memory.write_back(line_address, line_size, dirty_mask, data)
+
+    def write_through(self, address: int, size: int, data=None) -> None:
+        self.memory.write_through(address, size, data)
+
+    def flush(self) -> None:
+        """End of run: drop the (clean) contents; no traffic results."""
+        self.miss_cache.clear()
+
+
+def attach_miss_cache(cache, entries: int, memory: Backend) -> MissCacheBackend:
+    """Wire a miss cache between ``cache`` and ``memory``."""
+    if cache.config.store_data:
+        raise ConfigurationError(
+            "the miss cache is a stats-only structure (it does not "
+            "buffer data); disable store_data on the primary cache"
+        )
+    backend = MissCacheBackend(MissCache(entries, cache.config.line_size), memory)
+    cache.backend = backend
+    return backend

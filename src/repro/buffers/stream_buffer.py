@@ -1,0 +1,166 @@
+"""Stream buffers (Jouppi 1990, the paper's reference [10]).
+
+N FIFO queues of sequentially prefetched lines between a cache and the
+next level.  A miss that also misses every stream allocates the
+least-recently-used stream, which starts prefetching the lines *after*
+the missed one; a miss that hits a stream is serviced from the buffer,
+the entries ahead of the hit are discarded, and the stream refills to its
+depth.  Prefetch fetches are real downstream traffic — that is the whole
+trade the mechanism-comparison figure measures: stream buffers trade
+extra fetch traffic for sequential-miss coverage, where victim and miss
+caches only ever remove traffic.
+
+Lookup compares all entries of every stream, not just the FIFO heads
+(Jouppi's follow-up "non-blocking" lookup), so a stream survives a short
+stride stutter.  Entries are always clean: stores take the normal
+write-back/write-through paths untouched, and flush adds no traffic.
+"""
+
+from collections import deque
+from dataclasses import dataclass
+from typing import ClassVar, Deque, List
+
+from repro.common.bitops import log2_int
+from repro.common.errors import ConfigurationError
+from repro.common.lru import LruTracker
+from repro.common.serde import CounterSerde
+from repro.cache.backend import Backend
+
+
+@dataclass
+class StreamBufferStats(CounterSerde):
+    """Counters for one stream-buffer run."""
+
+    kind: ClassVar[str] = "stream_buffer"
+
+    fetch_probes: int = 0  #: primary-cache misses that probed the streams
+    hits: int = 0  #: probes serviced from a stream
+    allocations: int = 0  #: streams (re)started by a total miss
+    prefetch_fetches: int = 0  #: downstream line fetches issued ahead of demand
+
+    @property
+    def hit_fraction(self) -> float:
+        """Fraction of primary-cache misses serviced by a stream."""
+        return self.hits / self.fetch_probes if self.fetch_probes else 0.0
+
+
+class StreamBuffer:
+    """N sequential prefetch streams with LRU allocation."""
+
+    def __init__(self, streams: int, depth: int, line_size: int) -> None:
+        if streams < 1:
+            raise ConfigurationError("stream buffer needs at least one stream")
+        if depth < 1:
+            raise ConfigurationError("stream depth must be at least one line")
+        log2_int(line_size)
+        self.streams = streams
+        self.depth = depth
+        self.line_size = line_size
+        self.stats = StreamBufferStats()
+        self._lru = LruTracker()
+        self._queues: List[Deque[int]] = [deque() for _ in range(streams)]
+        for index in range(streams):
+            self._lru.touch(index)
+
+    def lookup(self, line_address: int):
+        """Find ``line_address`` in any stream; returns (stream, position)."""
+        for index, queue in enumerate(self._queues):
+            for position, buffered in enumerate(queue):
+                if buffered == line_address:
+                    return index, position
+        return None
+
+    def consume(self, index: int, position: int) -> int:
+        """Service a hit: drop entries up to and including the hit.
+
+        Returns how many prefetches the refill needs; the caller issues
+        them (it owns the downstream) and records them via
+        :meth:`refill`.
+        """
+        queue = self._queues[index]
+        for _ in range(position + 1):
+            queue.popleft()
+        self._lru.touch(index)
+        return self.depth - len(queue)
+
+    def next_prefetch_address(self, index: int, fallback: int) -> int:
+        """The line the stream's next prefetch should fetch."""
+        queue = self._queues[index]
+        if queue:
+            return queue[-1] + self.line_size
+        return fallback
+
+    def refill(self, index: int, line_address: int) -> None:
+        """Record one issued prefetch at the tail of a stream."""
+        self._queues[index].append(line_address)
+
+    def allocate(self) -> int:
+        """Restart the least-recently-used stream; returns its index."""
+        index = self._lru.evict()
+        self._queues[index].clear()
+        self._lru.touch(index)
+        self.stats.allocations += 1
+        return index
+
+    def clear(self) -> None:
+        """Drop every stream (no traffic: prefetched lines are clean)."""
+        for queue in self._queues:
+            queue.clear()
+
+
+class StreamBufferBackend(Backend):
+    """Compose stream buffers between a primary cache and the next level."""
+
+    def __init__(self, stream_buffer: StreamBuffer, memory: Backend) -> None:
+        self.stream_buffer = stream_buffer
+        self.memory = memory
+
+    def _refill(self, index: int, fallback: int, count: int) -> None:
+        buffer = self.stream_buffer
+        for _ in range(count):
+            address = buffer.next_prefetch_address(index, fallback)
+            buffer.stats.prefetch_fetches += 1
+            self.memory.fetch(address, buffer.line_size)
+            buffer.refill(index, address)
+
+    def fetch(self, address: int, size: int):
+        buffer = self.stream_buffer
+        buffer.stats.fetch_probes += 1
+        base = address & ~(buffer.line_size - 1)
+        found = buffer.lookup(base)
+        if found is not None:
+            buffer.stats.hits += 1
+            index, position = found
+            missing = buffer.consume(index, position)
+            self._refill(index, base + buffer.line_size, missing)
+            return None
+        result = self.memory.fetch(address, size)  # demand miss goes first
+        index = buffer.allocate()
+        self._refill(index, base + buffer.line_size, buffer.depth)
+        return result
+
+    def write_back(self, line_address: int, line_size: int, dirty_mask: int, data=None):
+        self.memory.write_back(line_address, line_size, dirty_mask, data)
+
+    def write_through(self, address: int, size: int, data=None) -> None:
+        self.memory.write_through(address, size, data)
+
+    def flush(self) -> None:
+        """End of run: drop the (clean) streams; no traffic results."""
+        self.stream_buffer.clear()
+
+
+def attach_stream_buffer(
+    cache, streams: int, depth: int, memory: Backend
+) -> StreamBufferBackend:
+    """Wire stream buffers between ``cache`` and ``memory``."""
+    if cache.config.store_data:
+        raise ConfigurationError(
+            "the stream buffer is a stats-only structure (it does not "
+            "buffer data); disable store_data on the primary cache"
+        )
+    backend = StreamBufferBackend(
+        StreamBuffer(streams, depth, cache.config.line_size), memory
+    )
+    cache.backend = backend
+    return backend

@@ -132,6 +132,30 @@ def _add_sweep_axis_flags(parser) -> None:
         "--write-miss", choices=sorted(_MISS_POLICIES), default="fetch-on-write"
     )
     parser.add_argument("--scale", type=float, default=1.0)
+    hierarchy = parser.add_argument_group(
+        "hierarchy axes (--kind system only; ignored otherwise)"
+    )
+    hierarchy.add_argument(
+        "--l2-size", default=None, metavar="SIZE",
+        help="add a second cache level of this capacity (e.g. 64KB) under "
+        "every swept L1",
+    )
+    hierarchy.add_argument(
+        "--victim-entries", type=int, default=0,
+        help="attach a victim cache of this many entries at L1",
+    )
+    hierarchy.add_argument(
+        "--miss-entries", type=int, default=0,
+        help="attach a miss cache of this many entries at L1",
+    )
+    hierarchy.add_argument(
+        "--stream-buffers", type=int, default=0,
+        help="attach this many sequential-prefetch stream buffers at L1",
+    )
+    hierarchy.add_argument(
+        "--stream-depth", type=int, default=4,
+        help="lines prefetched ahead per stream (default: 4)",
+    )
 
 
 def _add_url_flag(parser) -> None:
@@ -368,6 +392,39 @@ def _command_claims(args) -> int:
     return 0
 
 
+def _hierarchy_configs(args, cache_configs, policy_detail):
+    """Lift swept L1 configs into hierarchy configs per the CLI flags.
+
+    The hierarchy flags (``--l2-size``, structure entry counts) apply
+    uniformly to every point of the swept axis, so ``repro submit``
+    reconstructs the identical series from the same flags.
+    """
+    from repro.hierarchy.system import HierarchyConfig, LevelConfig
+
+    lower = ()
+    details = [policy_detail]
+    if args.l2_size is not None:
+        lower = (LevelConfig(cache=CacheConfig(size=args.l2_size)),)
+        details.append(f"L2={args.l2_size}")
+    structures = dict(
+        victim_entries=args.victim_entries,
+        miss_entries=args.miss_entries,
+        stream_buffers=args.stream_buffers,
+        stream_depth=args.stream_depth,
+    )
+    if args.victim_entries:
+        details.append(f"VC{args.victim_entries}")
+    if args.miss_entries:
+        details.append(f"MC{args.miss_entries}")
+    if args.stream_buffers:
+        details.append(f"SB{args.stream_buffers}x{args.stream_depth}")
+    configs = [
+        HierarchyConfig(levels=(LevelConfig(cache=config, **structures),) + lower)
+        for config in cache_configs
+    ]
+    return configs, ", ".join(details)
+
+
 def _sweep_axis(args):
     """Build (x_label, x_values, configs, title_detail) for one sweep."""
     from repro.buffers.victim_buffer import VictimBufferConfig
@@ -380,7 +437,6 @@ def _sweep_axis(args):
         line_sweep_configs,
         size_sweep_configs,
     )
-    from repro.hierarchy.system import SystemConfig
 
     write_hit = _HIT_POLICIES[args.write_hit]
     write_miss = _MISS_POLICIES[args.write_miss]
@@ -397,12 +453,8 @@ def _sweep_axis(args):
             )
             x_label, x_values = "line size (B)", list(LINE_SIZES_B)
         if args.kind == "system":
-            return (
-                x_label,
-                x_values,
-                [SystemConfig(cache=config) for config in cache_configs],
-                policy_detail,
-            )
+            configs, detail = _hierarchy_configs(args, cache_configs, policy_detail)
+            return x_label, x_values, configs, detail
         return x_label, x_values, cache_configs, policy_detail
     if args.kind == "write_cache":
         entries = list(range(0, 17))

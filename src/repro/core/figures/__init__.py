@@ -24,6 +24,7 @@ from repro.core.figures.write_miss_fig import (
 )
 from repro.core.figures.traffic_fig import fig18, fig19
 from repro.core.figures.victims_fig import fig20, fig21, fig22, fig23, fig24, fig25
+from repro.core.figures.hierarchy_fig import hier_miss, hier_traffic
 from repro.core.figures.tables_fig import table1, table2, table3
 
 #: Every driver, in paper order.
@@ -51,6 +52,8 @@ FIGURES: Dict[str, Callable] = {
     "fig23": fig23,
     "fig24": fig24,
     "fig25": fig25,
+    "hier_miss": hier_miss,
+    "hier_traffic": hier_traffic,
     "table3": table3,
 }
 

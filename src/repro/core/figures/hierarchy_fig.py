@@ -1,0 +1,142 @@
+"""Mechanism comparison: victim cache vs miss cache vs stream buffers.
+
+Not a figure of the 1993 paper — it measures the sentence the paper takes
+from Jouppi 1990 (its reference [10]): small miss-side structures between
+the L1 and the next level trade tiny capacity for large fractions of the
+miss traffic.  Over a fixed two-level hierarchy (swept direct-mapped L1
+above a 64 KB unified L2), five variants are compared: the bare baseline,
+a 4-entry victim cache, a 4-entry miss cache, four 4-deep stream buffers,
+and all three combined.
+
+Two panels, each its own figure id:
+
+- ``hier_miss`` — effective L1 miss ratio (demand misses *not* serviced
+  by an attached structure, per reference).  Victim beats miss cache per
+  entry; stream buffers dominate on sequential workloads.
+- ``hier_traffic`` — transactions per instruction at the L1 -> L2
+  boundary the structures sit on.  Stream-buffer prefetches are real
+  boundary traffic, so the panel shows the price the miss-ratio panel
+  hides.
+
+Each point is a ``system``-kind experiment over the full benchmark suite,
+so a warm result store renders both panels without a single simulation.
+"""
+
+from typing import Dict, List
+
+from repro.cache.config import CacheConfig
+from repro.core.figures.base import FigureResult, prefetch_specs
+from repro.core.runner import experiment_key, run_experiment
+from repro.hierarchy.system import HierarchyConfig, LevelConfig
+from repro.trace.corpus import BENCHMARK_NAMES
+
+#: Swept L1 capacities (KB), 16 B lines, direct-mapped.
+L1_SIZES_KB = (1, 2, 4, 8, 16)
+
+#: The fixed unified second level every variant shares.
+L2_SIZE_KB = 64
+
+#: The compared attachment variants, in legend order.
+VARIANTS = (
+    ("baseline", {}),
+    ("+victim", {"victim_entries": 4}),
+    ("+miss", {"miss_entries": 4}),
+    ("+stream", {"stream_buffers": 4, "stream_depth": 4}),
+    (
+        "combined",
+        {
+            "victim_entries": 4,
+            "miss_entries": 4,
+            "stream_buffers": 4,
+            "stream_depth": 4,
+        },
+    ),
+)
+
+
+def _variant_config(size_kb: int, structures: dict) -> HierarchyConfig:
+    return HierarchyConfig(
+        levels=(
+            LevelConfig(cache=CacheConfig(size=size_kb * 1024), **structures),
+            LevelConfig(cache=CacheConfig(size=L2_SIZE_KB * 1024)),
+        )
+    )
+
+
+def _grid_specs(scale: float):
+    """spec per (variant, L1 size, workload), variant-major."""
+    return {
+        (label, size_kb, name): experiment_key(
+            "system", name, _variant_config(size_kb, structures), scale=scale
+        )
+        for label, structures in VARIANTS
+        for size_kb in L1_SIZES_KB
+        for name in BENCHMARK_NAMES
+    }
+
+
+def _panel(figure_id: str, title: str, y_label: str, metric, scale: float,
+           paper_shape: str) -> FigureResult:
+    specs = _grid_specs(scale)
+    prefetch_specs(list(specs.values()))
+    series: Dict[str, List[float]] = {}
+    for label, _ in VARIANTS:
+        series[label] = [
+            metric([run_experiment(specs[label, size_kb, name])
+                    for name in BENCHMARK_NAMES])
+            for size_kb in L1_SIZES_KB
+        ]
+    return FigureResult(
+        figure_id=figure_id,
+        title=title,
+        x_label="L1 size (KB)",
+        y_label=y_label,
+        x_values=list(L1_SIZES_KB),
+        series=series,
+        paper_shape=paper_shape,
+    )
+
+
+def _suite_effective_miss_ratio(results) -> float:
+    misses = sum(
+        stats.l1.fetches - stats.levels[0].structure_hits for stats in results
+    )
+    accesses = sum(stats.l1.accesses for stats in results)
+    return misses / accesses if accesses else 0.0
+
+
+def _suite_transactions_per_instruction(results) -> float:
+    # Metered at the boundary the structures sit on (L1 -> L2), not at
+    # memory: two levels down, a structure hit also perturbs the L2's
+    # replacement stream, which would blur the mechanisms' own cost.
+    transactions = sum(stats.boundaries[0].transactions for stats in results)
+    instructions = sum(stats.l1.instructions for stats in results)
+    return transactions / instructions if instructions else 0.0
+
+
+def hier_miss(scale: float = 1.0) -> FigureResult:
+    """Effective L1 miss ratio per mechanism (suite-aggregated)."""
+    return _panel(
+        "hier_miss",
+        f"Miss-side mechanisms vs L1 size (16B lines, {L2_SIZE_KB}KB L2): miss ratio",
+        "effective L1 miss ratio",
+        _suite_effective_miss_ratio,
+        scale,
+        "every structure sits below the baseline; victim >= miss cache "
+        "per entry (Jouppi 1990); stream buffers take the biggest bite on "
+        "sequential workloads; gaps narrow as L1 capacity grows",
+    )
+
+
+def hier_traffic(scale: float = 1.0) -> FigureResult:
+    """L1-boundary transactions per instruction per mechanism."""
+    return _panel(
+        "hier_traffic",
+        f"Miss-side mechanisms vs L1 size (16B lines, {L2_SIZE_KB}KB L2): traffic",
+        "L1-boundary transactions per instruction",
+        _suite_transactions_per_instruction,
+        scale,
+        "victim and miss caches only remove boundary transactions; every "
+        "stream-buffer prefetch is an extra fetch, so that curve sits "
+        "above the baseline — the price of the miss-ratio win",
+    )

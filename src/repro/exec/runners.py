@@ -40,7 +40,7 @@ from repro.cache.stats import CacheStats
 from repro.exec.experiments import register_runner
 from repro.hierarchy.system import (
     SYSTEM_ENGINE_VERSION,
-    SystemConfig,
+    HierarchyConfig,
     SystemStats,
     simulate_system,
 )
@@ -145,5 +145,8 @@ register_runner(
     run_system,
     SystemStats,
     f"{SYSTEM_ENGINE_VERSION}+sim{SIMULATOR_VERSION}",
-    config_type=SystemConfig,
+    # v2: per-level stats lists + per-boundary meters (the hierarchy
+    # refactor); v1 records quarantine on read rather than misdecode.
+    schema_version=2,
+    config_type=HierarchyConfig,
 )

@@ -8,21 +8,34 @@ the next-level components and the glue:
   data-carrying) terminal backend.
 - :class:`repro.hierarchy.memory.TrafficMeter` — transaction/byte counts
   observed at any backend boundary.
-- :class:`repro.hierarchy.system.CacheSystem` — an L1 cache composed with
-  an optional write cache and/or victim cache and a memory.
-- :class:`repro.hierarchy.system.SystemConfig` /
-  :class:`repro.hierarchy.system.SystemStats` /
+- :class:`repro.hierarchy.system.HierarchyConfig` /
+  :class:`repro.hierarchy.system.LevelConfig` — the declarative hierarchy
+  graph: an ordered list of cache levels, each with optional attached
+  structures (write cache, victim cache, miss cache, stream buffers).
+- :class:`repro.hierarchy.system.CacheSystem` — the built hierarchy:
+  stacked cache levels over metered inter-level boundaries and memory.
+- :class:`repro.hierarchy.system.SystemStats` /
+  :class:`repro.hierarchy.system.LevelStats` /
   :func:`repro.hierarchy.system.simulate_system` — the composed hierarchy
   as a registered experiment kind (config in, serializable stats out).
+- :func:`repro.hierarchy.system.SystemConfig` — compatibility alias for
+  the pre-refactor flat one-level config.
 - :class:`repro.hierarchy.system.CacheLevelBackend` — adapter that lets a
   :class:`~repro.cache.cache.Cache` serve as the next level below another
-  cache, enabling two-level simulations.
+  cache; :class:`repro.hierarchy.system.MeteringBackend` counts any
+  inter-level boundary exactly as the terminal memory would.
+
+See ``docs/hierarchy.md`` for the full graph model.
 """
 
 from repro.hierarchy.memory import MainMemory, TrafficMeter
 from repro.hierarchy.system import (
     CacheLevelBackend,
     CacheSystem,
+    HierarchyConfig,
+    LevelConfig,
+    LevelStats,
+    MeteringBackend,
     SystemConfig,
     SystemStats,
     simulate_system,
@@ -33,6 +46,10 @@ __all__ = [
     "TrafficMeter",
     "CacheLevelBackend",
     "CacheSystem",
+    "HierarchyConfig",
+    "LevelConfig",
+    "LevelStats",
+    "MeteringBackend",
     "SystemConfig",
     "SystemStats",
     "simulate_system",

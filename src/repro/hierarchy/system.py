@@ -1,28 +1,50 @@
-"""System composition: L1 cache + buffering structures + metered memory.
+"""System composition: a declarative cache hierarchy over metered memory.
 
-:class:`CacheSystem` wires together the pieces Section 5 measures: a
-first-level cache whose back side feeds main memory directly, through a
-write cache (write-through organisations), and/or through a victim cache
-(direct-mapped organisations).  The traffic meter on the memory shows
-what ultimately leaves the chip, and :class:`SystemStats` packages the
-whole composition — L1 counters, structure counters and the meter — as
-one serializable result the experiment layer can persist (the ``system``
-experiment kind; see :mod:`repro.exec.experiments`).
+:class:`HierarchyConfig` describes the whole graph — an ordered list of
+:class:`LevelConfig`\\ s (each a :class:`~repro.cache.config.CacheConfig`
+plus the structures attached at that level: write cache, victim cache,
+miss cache, stream buffers), terminated by a metered
+:class:`~repro.hierarchy.memory.MainMemory`.  :class:`CacheSystem` builds
+it by stacking :class:`CacheLevelBackend` adapters ("two or more levels
+of caching are assumed" — Section 1), wrapping each level's structures
+around its exit and metering every inter-level boundary with a
+:class:`~repro.hierarchy.memory.TrafficMeter`.
 
-:class:`CacheLevelBackend` adapts a :class:`~repro.cache.cache.Cache` to
-the :class:`~repro.cache.backend.Backend` interface so a second cache
-level can sit underneath the first ("two or more levels of caching are
-assumed" — Section 1).
+:class:`SystemStats` packages the whole composition — per-level cache and
+structure counters plus per-boundary meters — as one serializable result
+the experiment layer can persist (the ``system`` experiment kind; see
+:mod:`repro.exec.experiments`).  The legacy one-level accessors (``l1``,
+``memory``, ``write_cache``, ``victim_cache``) remain as properties, and
+:func:`SystemConfig` remains as a compatibility alias lowering to a
+one-level hierarchy, so pre-refactor call sites keep working unchanged.
+
+See ``docs/hierarchy.md`` for the graph model, structure semantics and
+compatibility notes.
 """
 
 from dataclasses import dataclass, field
-from typing import ClassVar, Optional
+from typing import ClassVar, List, Optional, Tuple
 
 from repro.cache.backend import Backend
 from repro.cache.cache import Cache
 from repro.cache.config import CacheConfig
 from repro.cache.stats import CacheStats
-from repro.buffers.victim_cache import VictimCacheBackend, VictimCacheStats, attach_victim_cache
+from repro.common.errors import ConfigurationError
+from repro.buffers.miss_cache import (
+    MissCacheBackend,
+    MissCacheStats,
+    attach_miss_cache,
+)
+from repro.buffers.stream_buffer import (
+    StreamBufferBackend,
+    StreamBufferStats,
+    attach_stream_buffer,
+)
+from repro.buffers.victim_cache import (
+    VictimCacheBackend,
+    VictimCacheStats,
+    attach_victim_cache,
+)
 from repro.buffers.write_cache import WriteCache, WriteCacheBackend, WriteCacheStats
 from repro.hierarchy.memory import MainMemory, TrafficMeter
 from repro.trace.trace import Trace
@@ -30,72 +52,259 @@ from repro.trace.trace import Trace
 #: Bump whenever system composition can alter the statistics produced for
 #: an unchanged (trace, config) pair.  The ``system`` experiment kind also
 #: folds the L1 simulator version into its engine tag, so either bump
-#: invalidates stored system results.
-SYSTEM_ENGINE_VERSION = 1
+#: invalidates stored system results.  v2: the hierarchy-graph refactor —
+#: multi-level configs, miss caches and stream buffers, per-level stats.
+#: Stored v1 system records are orphaned by the bump; ``repro store gc``
+#: quarantines them (it never deletes), see docs/hierarchy.md.
+SYSTEM_ENGINE_VERSION = 2
 
 
 @dataclass(frozen=True)
-class SystemConfig:
-    """Immutable description of one composed-hierarchy experiment."""
+class LevelConfig:
+    """One cache level plus the structures attached at that level."""
 
     cache: CacheConfig = field(default_factory=CacheConfig)
-    write_cache_entries: int = 0
-    victim_entries: int = 0
+    write_cache_entries: int = 0  #: write-through levels only
+    victim_entries: int = 0  #: direct-mapped levels only
+    miss_entries: int = 0
+    stream_buffers: int = 0
+    stream_depth: int = 4
 
     def cache_key(self) -> str:
         """Stable canonical identity string (hashed by the result store)."""
         return (
-            f"sys_wc={self.write_cache_entries}:victims={self.victim_entries}:"
+            f"lvl_wc={self.write_cache_entries}:victims={self.victim_entries}:"
+            f"miss={self.miss_entries}:"
+            f"streams={self.stream_buffers}x{self.stream_depth}:"
             f"{self.cache.cache_key()}"
         )
 
     @property
     def name(self) -> str:
-        """Short human-readable label for progress reporting."""
+        """Label naming the cache *and* every attached structure."""
         extras = []
         if self.write_cache_entries:
             extras.append(f"+WC{self.write_cache_entries}")
         if self.victim_entries:
             extras.append(f"+VC{self.victim_entries}")
+        if self.miss_entries:
+            extras.append(f"+MC{self.miss_entries}")
+        if self.stream_buffers:
+            extras.append(f"+SB{self.stream_buffers}x{self.stream_depth}")
         return self.cache.name + "".join(extras)
 
     def to_dict(self) -> dict:
-        """JSON-safe payload; the L1 config nests as its own dict."""
+        """JSON-safe payload; the cache config nests as its own dict."""
         return {
             "cache": self.cache.to_dict(),
             "write_cache_entries": self.write_cache_entries,
             "victim_entries": self.victim_entries,
+            "miss_entries": self.miss_entries,
+            "stream_buffers": self.stream_buffers,
+            "stream_depth": self.stream_depth,
         }
 
     @classmethod
-    def from_dict(cls, payload: dict) -> "SystemConfig":
+    def from_dict(cls, payload: dict) -> "LevelConfig":
         """Inverse of :meth:`to_dict`; unknown keys raise, missing default."""
-        unknown = set(payload) - {"cache", "write_cache_entries", "victim_entries"}
+        known = {
+            "cache", "write_cache_entries", "victim_entries",
+            "miss_entries", "stream_buffers", "stream_depth",
+        }
+        unknown = set(payload) - known
         if unknown:
-            raise ValueError(f"unknown SystemConfig fields: {sorted(unknown)}")
+            raise ValueError(f"unknown LevelConfig fields: {sorted(unknown)}")
         data = dict(payload)
         if "cache" in data:
             data["cache"] = CacheConfig.from_dict(data["cache"])
         return cls(**data)
 
 
+#: Legacy flat :func:`SystemConfig` payload keys, still accepted on the
+#: wire so pre-refactor specs keep round-tripping.
+_LEGACY_CONFIG_KEYS = {"cache", "write_cache_entries", "victim_entries"}
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Immutable description of one composed-hierarchy experiment.
+
+    ``levels`` orders the caches from the processor outward: ``levels[0]``
+    is the L1 and ``levels[-1]`` sits directly on main memory.
+    """
+
+    levels: Tuple[LevelConfig, ...] = (LevelConfig(),)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "levels", tuple(self.levels))
+        if not self.levels:
+            raise ConfigurationError("a hierarchy needs at least one cache level")
+
+    def cache_key(self) -> str:
+        """Stable canonical identity string (hashed by the result store)."""
+        return "hier:" + "|".join(level.cache_key() for level in self.levels)
+
+    @property
+    def name(self) -> str:
+        """Label naming every level and structure (L1 outward)."""
+        return "->".join(level.name for level in self.levels)
+
+    def to_dict(self) -> dict:
+        """JSON-safe payload; one nested dict per level."""
+        return {"levels": [level.to_dict() for level in self.levels]}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "HierarchyConfig":
+        """Inverse of :meth:`to_dict`; unknown keys raise.
+
+        Also accepts the legacy flat :func:`SystemConfig` payload shape
+        (``cache``/``write_cache_entries``/``victim_entries``), lowering
+        it to a one-level hierarchy, so pre-refactor wire specs and
+        stored spec records keep loading.
+        """
+        if "levels" in payload:
+            unknown = set(payload) - {"levels"}
+            if unknown:
+                raise ValueError(
+                    f"unknown HierarchyConfig fields: {sorted(unknown)}"
+                )
+            return cls(
+                levels=tuple(
+                    LevelConfig.from_dict(level) for level in payload["levels"]
+                )
+            )
+        unknown = set(payload) - _LEGACY_CONFIG_KEYS
+        if unknown:
+            raise ValueError(f"unknown SystemConfig fields: {sorted(unknown)}")
+        data = dict(payload)
+        if "cache" in data:
+            data["cache"] = CacheConfig.from_dict(data["cache"])
+        return cls(levels=(LevelConfig(**data),))
+
+
+def SystemConfig(
+    cache: Optional[CacheConfig] = None,
+    write_cache_entries: int = 0,
+    victim_entries: int = 0,
+) -> HierarchyConfig:
+    """Compatibility alias: the pre-refactor flat system config.
+
+    Lowers to a one-level :class:`HierarchyConfig`; identity, labels and
+    simulation results of the lowered config are bit-identical to the
+    composition the flat ``SystemConfig`` used to describe.
+    """
+    return HierarchyConfig(
+        levels=(
+            LevelConfig(
+                cache=cache if cache is not None else CacheConfig(),
+                write_cache_entries=write_cache_entries,
+                victim_entries=victim_entries,
+            ),
+        )
+    )
+
+
+# Decode hook so historical ``SystemConfig.from_dict(...)`` call sites
+# keep working; instances are HierarchyConfigs, which own serialization.
+SystemConfig.from_dict = HierarchyConfig.from_dict
+
+
+@dataclass
+class LevelStats:
+    """One level of a composed run: cache counters plus its structures."""
+
+    cache: CacheStats = field(default_factory=CacheStats)
+    write_cache: Optional[WriteCacheStats] = None
+    victim_cache: Optional[VictimCacheStats] = None
+    miss_cache: Optional[MissCacheStats] = None
+    stream_buffer: Optional[StreamBufferStats] = None
+
+    _STRUCTURES: ClassVar[dict] = {
+        "write_cache": WriteCacheStats,
+        "victim_cache": VictimCacheStats,
+        "miss_cache": MissCacheStats,
+        "stream_buffer": StreamBufferStats,
+    }
+
+    @property
+    def structure_hits(self) -> int:
+        """Misses of this level's cache serviced by an attached structure."""
+        hits = 0
+        for name in ("victim_cache", "miss_cache", "stream_buffer"):
+            structure = getattr(self, name)
+            if structure is not None:
+                hits += structure.hits
+        return hits
+
+    def to_dict(self) -> dict:
+        """Nested plain-dict form; absent structures are omitted."""
+        payload = {"cache": self.cache.to_dict()}
+        for name in self._STRUCTURES:
+            structure = getattr(self, name)
+            if structure is not None:
+                payload[name] = structure.to_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LevelStats":
+        """Inverse of :meth:`to_dict`; unknown keys raise."""
+        unknown = set(payload) - {"cache"} - set(cls._STRUCTURES)
+        if unknown:
+            raise ValueError(f"unknown LevelStats fields: {sorted(unknown)}")
+        kwargs = {"cache": CacheStats.from_dict(payload["cache"])}
+        for name, stats_type in cls._STRUCTURES.items():
+            if name in payload:
+                kwargs[name] = stats_type.from_dict(payload[name])
+        return cls(**kwargs)
+
+
 @dataclass
 class SystemStats:
-    """One composed run: L1 counters, structure counters, memory meter.
+    """One composed run: per-level counters and per-boundary meters.
 
-    The meter is what actually crossed the last backend boundary — with a
-    write cache in the chain ``memory.write_throughs`` is the *merged*
-    store stream, and with a victim cache ``memory.fetches`` excludes the
-    misses serviced by swaps.  The four back-side components the paper's
-    Section 5 taxonomy splits traffic into are exposed as properties.
+    ``levels[i]`` carries the cache and structure counters of hierarchy
+    level *i*; ``boundaries[i]`` meters the traffic that left level *i*
+    toward level *i+1* — so ``boundaries[-1]`` is what actually reached
+    main memory.  With a write cache in a level's chain that boundary's
+    ``write_throughs`` is the *merged* store stream, and with a victim,
+    miss or stream structure its ``fetches`` exclude the misses the
+    structure serviced (and include any prefetches it issued).  The four
+    back-side components the paper's Section 5 taxonomy splits traffic
+    into are exposed as properties over the memory boundary.
     """
 
     kind: ClassVar[str] = "system"
 
-    l1: CacheStats = field(default_factory=CacheStats)
-    memory: TrafficMeter = field(default_factory=TrafficMeter)
-    write_cache: Optional[WriteCacheStats] = None
-    victim_cache: Optional[VictimCacheStats] = None
+    levels: List[LevelStats] = field(default_factory=lambda: [LevelStats()])
+    boundaries: List[TrafficMeter] = field(default_factory=lambda: [TrafficMeter()])
+
+    # -- legacy one-level accessors ------------------------------------------
+
+    @property
+    def l1(self) -> CacheStats:
+        """The first-level cache's counters."""
+        return self.levels[0].cache
+
+    @property
+    def memory(self) -> TrafficMeter:
+        """Traffic that actually reached main memory."""
+        return self.boundaries[-1]
+
+    @property
+    def write_cache(self) -> Optional[WriteCacheStats]:
+        return self.levels[0].write_cache
+
+    @property
+    def victim_cache(self) -> Optional[VictimCacheStats]:
+        return self.levels[0].victim_cache
+
+    @property
+    def miss_cache(self) -> Optional[MissCacheStats]:
+        return self.levels[0].miss_cache
+
+    @property
+    def stream_buffer(self) -> Optional[StreamBufferStats]:
+        return self.levels[0].stream_buffer
 
     # -- the four back-side traffic components (Section 5) -------------------
 
@@ -145,37 +354,40 @@ class SystemStats:
             return 0.0
         return self.memory.bytes_total / self.l1.instructions
 
+    @property
+    def effective_miss_ratio(self) -> float:
+        """L1 demand misses *not* serviced at level 0, per reference.
+
+        The mechanism-comparison y-axis: an attached victim cache, miss
+        cache or stream buffer turns some L1 demand fetches into structure
+        hits, and this ratio charges only the remainder — what the L1
+        plus its structures could not contain.
+        """
+        accesses = self.l1.accesses
+        if not accesses:
+            return 0.0
+        return (self.l1.fetches - self.levels[0].structure_hits) / accesses
+
     # -- serialization --------------------------------------------------------
 
     def to_dict(self) -> dict:
         """Nested plain-dict form (JSON-safe for the result store)."""
-        payload = {"l1": self.l1.to_dict(), "memory": self.memory.to_dict()}
-        if self.write_cache is not None:
-            payload["write_cache"] = self.write_cache.to_dict()
-        if self.victim_cache is not None:
-            payload["victim_cache"] = self.victim_cache.to_dict()
-        return payload
+        return {
+            "levels": [level.to_dict() for level in self.levels],
+            "boundaries": [meter.to_dict() for meter in self.boundaries],
+        }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "SystemStats":
         """Inverse of :meth:`to_dict`; unknown keys raise."""
-        known = {"l1", "memory", "write_cache", "victim_cache"}
-        unknown = set(payload) - known
+        unknown = set(payload) - {"levels", "boundaries"}
         if unknown:
             raise ValueError(f"unknown SystemStats fields: {sorted(unknown)}")
         return cls(
-            l1=CacheStats.from_dict(payload["l1"]),
-            memory=TrafficMeter.from_dict(payload["memory"]),
-            write_cache=(
-                WriteCacheStats.from_dict(payload["write_cache"])
-                if "write_cache" in payload
-                else None
-            ),
-            victim_cache=(
-                VictimCacheStats.from_dict(payload["victim_cache"])
-                if "victim_cache" in payload
-                else None
-            ),
+            levels=[LevelStats.from_dict(level) for level in payload["levels"]],
+            boundaries=[
+                TrafficMeter.from_dict(meter) for meter in payload["boundaries"]
+            ],
         )
 
 
@@ -225,61 +437,204 @@ class CacheLevelBackend(Backend):
         self.cache.write(address, size)
 
 
-class CacheSystem:
-    """A first-level cache with its exit-traffic machinery and memory."""
+class MeteringBackend(Backend):
+    """Count an inter-level boundary's traffic, byte-for-byte as
+    :class:`~repro.hierarchy.memory.MainMemory` would.
 
-    def __init__(
-        self,
-        config: CacheConfig,
-        write_cache_entries: int = 0,
-        memory: Optional[MainMemory] = None,
-        victim_entries: int = 0,
-    ) -> None:
-        self.memory = memory if memory is not None else MainMemory(store_data=config.store_data)
+    Wrapping the lower level's entry with this adapter is what makes a
+    two-level hierarchy's first boundary bit-identical to a flat system's
+    memory meter (the differential the test suite asserts): every
+    write-back meters at full line width regardless of the dirty extent,
+    exactly like the terminal memory.
+    """
+
+    def __init__(self, inner: Backend) -> None:
+        self.inner = inner
+        self.meter = TrafficMeter()
+
+    def fetch(self, line_address: int, line_size: int):
+        self.meter.fetches += 1
+        self.meter.fetch_bytes += line_size
+        return self.inner.fetch(line_address, line_size)
+
+    def write_back(self, line_address: int, line_size: int, dirty_mask: int, data=None):
+        self.meter.writebacks += 1
+        self.meter.writeback_bytes += line_size
+        self.inner.write_back(line_address, line_size, dirty_mask, data)
+
+    def write_through(self, address: int, size: int, data=None) -> None:
+        self.meter.write_throughs += 1
+        self.meter.write_through_bytes += size
+        self.inner.write_through(address, size, data)
+
+
+class _Level:
+    """One built hierarchy level: the cache and its attached structures."""
+
+    def __init__(self, config: LevelConfig, entry: Backend) -> None:
+        self.config = config
         self.write_cache: Optional[WriteCache] = None
         self.victim_backend: Optional[VictimCacheBackend] = None
-        backend: Backend = self.memory
-        if write_cache_entries > 0:
-            if not config.is_write_through:
+        self.miss_backend: Optional[MissCacheBackend] = None
+        self.stream_backend: Optional[StreamBufferBackend] = None
+        backend = entry
+        if config.write_cache_entries > 0:
+            if not config.cache.is_write_through:
                 raise ValueError(
                     "a write cache reduces write-through traffic; "
                     "write-back caches use a dirty-victim buffer instead"
                 )
-            self.write_cache = WriteCache(entries=write_cache_entries)
-            backend = WriteCacheBackend(self.write_cache, self.memory)
-        self.l1 = Cache(config, backend=backend)
-        if victim_entries > 0:
-            # attach_victim_cache validates (direct-mapped, stats-only) and
-            # rewires the L1 backend and victim hook.
-            self.victim_backend = attach_victim_cache(self.l1, victim_entries, backend)
+            self.write_cache = WriteCache(entries=config.write_cache_entries)
+            backend = WriteCacheBackend(self.write_cache, entry)
+        self.cache = Cache(config.cache, backend=backend)
+        if config.stream_buffers > 0:
+            # attach_* validates (stats-only) and rewires the cache backend,
+            # so later attachments probe *before* earlier ones on a miss.
+            self.stream_backend = attach_stream_buffer(
+                self.cache, config.stream_buffers, config.stream_depth, backend
+            )
+            backend = self.stream_backend
+        if config.miss_entries > 0:
+            self.miss_backend = attach_miss_cache(
+                self.cache, config.miss_entries, backend
+            )
+            backend = self.miss_backend
+        if config.victim_entries > 0:
+            # attach_victim_cache also validates direct-mapped and wires
+            # the victim hook; the victim cache probes first on a miss.
+            self.victim_backend = attach_victim_cache(
+                self.cache, config.victim_entries, backend
+            )
 
-    def run(self, trace: Trace, flush: bool = True) -> CacheStats:
-        """Drive ``trace`` through the system; optionally flush at the end.
+    def flush(self) -> None:
+        """Drain this level in structure order: cache, victims, writes."""
+        self.cache.flush()
+        if self.victim_backend is not None:
+            self.victim_backend.flush()
+        if self.miss_backend is not None:
+            self.miss_backend.flush()
+        if self.stream_backend is not None:
+            self.stream_backend.flush()
+        if self.write_cache is not None:
+            self.write_cache.flush()
 
-        Flushing drains every level in hierarchy order: L1 dirty lines
-        first, then dirty victim-cache residents, then write-cache entries
-        — exactly what powering down the chip would force out.
-        """
-        stats = self.l1.run(trace)
-        if flush:
-            self.l1.flush()
-            if self.victim_backend is not None:
-                self.victim_backend.flush()
-            if self.write_cache is not None:
-                self.write_cache.flush()
-        return stats
-
-    def system_stats(self) -> SystemStats:
-        """Snapshot the whole composition as one serializable result."""
-        return SystemStats(
-            l1=self.l1.stats,
-            memory=self.memory.meter,
-            write_cache=self.write_cache.stats if self.write_cache is not None else None,
+    def stats(self) -> LevelStats:
+        return LevelStats(
+            cache=self.cache.stats,
+            write_cache=(
+                self.write_cache.stats if self.write_cache is not None else None
+            ),
             victim_cache=(
                 self.victim_backend.victim_cache.stats
                 if self.victim_backend is not None
                 else None
             ),
+            miss_cache=(
+                self.miss_backend.miss_cache.stats
+                if self.miss_backend is not None
+                else None
+            ),
+            stream_buffer=(
+                self.stream_backend.stream_buffer.stats
+                if self.stream_backend is not None
+                else None
+            ),
+        )
+
+
+def _as_hierarchy(config) -> HierarchyConfig:
+    """Accept either a HierarchyConfig or a bare L1 CacheConfig."""
+    if isinstance(config, HierarchyConfig):
+        return config
+    return HierarchyConfig(levels=(LevelConfig(cache=config),))
+
+
+class CacheSystem:
+    """A built cache hierarchy: levels, boundary meters and main memory."""
+
+    def __init__(
+        self,
+        config=None,
+        write_cache_entries: int = 0,
+        memory: Optional[MainMemory] = None,
+        victim_entries: int = 0,
+    ) -> None:
+        if config is None:
+            config = CacheConfig()
+        if write_cache_entries or victim_entries:
+            # Legacy flat signature: one level plus structure entry counts.
+            if isinstance(config, HierarchyConfig):
+                raise ValueError(
+                    "pass structure entry counts inside LevelConfig when "
+                    "constructing from a HierarchyConfig"
+                )
+            config = HierarchyConfig(
+                levels=(
+                    LevelConfig(
+                        cache=config,
+                        write_cache_entries=write_cache_entries,
+                        victim_entries=victim_entries,
+                    ),
+                )
+            )
+        else:
+            config = _as_hierarchy(config)
+        self.config = config
+        store_data = config.levels[0].cache.store_data
+        self.memory = (
+            memory if memory is not None else MainMemory(store_data=store_data)
+        )
+        # Build from memory upward: each level's entry point is the next
+        # level's cache behind a metering adapter, except the last level,
+        # whose entry is the (self-metering) main memory.
+        self.levels: List[_Level] = []
+        self._boundary_meters: List[TrafficMeter] = []
+        entry: Backend = self.memory
+        meters = [self.memory.meter]
+        for level_config in reversed(config.levels[1:]):
+            level = _Level(level_config, entry)
+            self.levels.append(level)
+            metered = MeteringBackend(CacheLevelBackend(level.cache))
+            meters.append(metered.meter)
+            entry = metered
+        self.levels.append(_Level(config.levels[0], entry))
+        self.levels.reverse()
+        meters.reverse()
+        self._boundary_meters = meters
+
+    # -- legacy one-level accessors ------------------------------------------
+
+    @property
+    def l1(self) -> Cache:
+        return self.levels[0].cache
+
+    @property
+    def write_cache(self) -> Optional[WriteCache]:
+        return self.levels[0].write_cache
+
+    @property
+    def victim_backend(self) -> Optional[VictimCacheBackend]:
+        return self.levels[0].victim_backend
+
+    def run(self, trace: Trace, flush: bool = True) -> CacheStats:
+        """Drive ``trace`` through the hierarchy; optionally flush at the end.
+
+        Flushing drains the hierarchy from the processor outward — each
+        level's dirty lines, then its dirty victim-cache residents, then
+        its write-cache entries, before the next level sees its traffic —
+        exactly what powering down the chip would force out.
+        """
+        stats = self.l1.run(trace)
+        if flush:
+            for level in self.levels:
+                level.flush()
+        return stats
+
+    def system_stats(self) -> SystemStats:
+        """Snapshot the whole composition as one serializable result."""
+        return SystemStats(
+            levels=[level.stats() for level in self.levels],
+            boundaries=list(self._boundary_meters),
         )
 
     @property
@@ -288,27 +643,30 @@ class CacheSystem:
         return self.memory.meter
 
 
-def simulate_system(
-    trace: Trace, config: SystemConfig, flush: bool = True
-) -> SystemStats:
+def simulate_system(trace: Trace, config, flush: bool = True) -> SystemStats:
     """Run one composed-hierarchy experiment and return its stats.
 
-    When the composition is a bare cache over memory (no write cache, no
-    victim cache, stats-only), the meter is *derived* from the fast
+    When the composition is a bare one-level cache over memory (no
+    structures, stats-only), the meter is *derived* from the fast
     simulator's counters instead of driving the reference cache through a
     real backend chain: every backend call site pairs one meter increment
     with one L1 counter increment, so the derivation is exact (the test
     suite asserts bit-identity against the composed path).  Structured
-    compositions take the composed path.
+    and multi-level compositions take the composed path.
     """
+    config = _as_hierarchy(config)
+    level = config.levels[0]
     if (
-        config.write_cache_entries == 0
-        and config.victim_entries == 0
-        and not config.cache.store_data
+        len(config.levels) == 1
+        and level.write_cache_entries == 0
+        and level.victim_entries == 0
+        and level.miss_entries == 0
+        and level.stream_buffers == 0
+        and not level.cache.store_data
     ):
         from repro.cache.fastsim import simulate_trace
 
-        stats = simulate_trace(trace, config.cache, flush=flush)
+        stats = simulate_trace(trace, level.cache, flush=flush)
         writebacks = stats.writebacks + stats.flushed_dirty_lines
         meter = TrafficMeter(
             fetches=stats.fetches,
@@ -317,15 +675,11 @@ def simulate_system(
             # MainMemory meters each write-back at full line width; the
             # subblock_dirty_writeback byte savings live in the L1's own
             # writeback_bytes counter.
-            writeback_bytes=writebacks * config.cache.line_size,
+            writeback_bytes=writebacks * level.cache.line_size,
             write_throughs=stats.write_throughs,
             write_through_bytes=stats.write_through_bytes,
         )
-        return SystemStats(l1=stats, memory=meter)
-    system = CacheSystem(
-        config.cache,
-        write_cache_entries=config.write_cache_entries,
-        victim_entries=config.victim_entries,
-    )
+        return SystemStats(levels=[LevelStats(cache=stats)], boundaries=[meter])
+    system = CacheSystem(config)
     system.run(trace, flush=flush)
     return system.system_stats()

@@ -1,0 +1,130 @@
+"""Unit tests of the miss cache (allocate-on-any-miss buffer)."""
+
+import pytest
+
+from repro.buffers.miss_cache import (
+    MissCache,
+    MissCacheBackend,
+    MissCacheStats,
+    attach_miss_cache,
+)
+from repro.cache.cache import Cache
+from repro.cache.config import CacheConfig
+from repro.common.errors import ConfigurationError
+from repro.hierarchy.memory import MainMemory
+
+
+def make_backend(entries=4, line_size=16):
+    memory = MainMemory()
+    backend = MissCacheBackend(MissCache(entries, line_size), memory)
+    return backend, memory
+
+
+class TestMissCacheBackend:
+    def test_first_fetch_misses_and_allocates(self):
+        backend, memory = make_backend()
+        backend.fetch(0x1000, 16)
+        assert memory.meter.fetches == 1
+        assert backend.miss_cache.stats.fetch_probes == 1
+        assert backend.miss_cache.stats.hits == 0
+        assert backend.miss_cache.stats.inserts == 1
+
+    def test_refetch_hits_without_downstream_traffic(self):
+        backend, memory = make_backend()
+        backend.fetch(0x1000, 16)
+        assert backend.fetch(0x1000, 16) is None
+        assert memory.meter.fetches == 1  # second fetch served locally
+        assert backend.miss_cache.stats.hits == 1
+
+    def test_lru_eviction(self):
+        backend, memory = make_backend(entries=2)
+        backend.fetch(0x1000, 16)
+        backend.fetch(0x2000, 16)
+        backend.fetch(0x1000, 16)  # touch 0x1000: 0x2000 becomes LRU
+        backend.fetch(0x3000, 16)  # evicts 0x2000
+        assert backend.miss_cache.stats.evictions == 1
+        backend.fetch(0x2000, 16)
+        assert backend.miss_cache.stats.hits == 1  # only the 0x1000 touch
+        assert memory.meter.fetches == 4
+
+    def test_partial_span_hits_only_covered_bytes(self):
+        backend, memory = make_backend()
+        # Sub-block fetch of bytes 0-7 of the line at 0x1000.
+        backend.fetch(0x1000, 8)
+        assert backend.fetch(0x1000, 8) is None
+        assert backend.miss_cache.stats.hits == 1
+        # Bytes 8-15 were never fetched: a probe there must miss and
+        # widen the entry.
+        backend.fetch(0x1008, 8)
+        assert backend.miss_cache.stats.hits == 1
+        assert memory.meter.fetches == 2
+        # Now the whole line is valid.
+        backend.fetch(0x1000, 16)
+        assert backend.miss_cache.stats.hits == 2
+        assert memory.meter.fetches == 2
+
+    def test_writes_pass_through_untouched(self):
+        backend, memory = make_backend()
+        backend.write_back(0x1000, 16, 0xFFFF)
+        backend.write_through(0x2000, 4)
+        assert memory.meter.writebacks == 1
+        assert memory.meter.write_throughs == 1
+        assert backend.miss_cache.stats.fetch_probes == 0
+
+    def test_flush_drops_contents_without_traffic(self):
+        backend, memory = make_backend()
+        backend.fetch(0x1000, 16)
+        before = memory.meter.to_dict()
+        backend.flush()
+        assert memory.meter.to_dict() == before
+        backend.fetch(0x1000, 16)
+        assert memory.meter.fetches == 2  # refetched after the flush
+
+    def test_hit_fraction(self):
+        stats = MissCacheStats(fetch_probes=8, hits=2)
+        assert stats.hit_fraction == 0.25
+        assert MissCacheStats().hit_fraction == 0.0
+
+    def test_needs_at_least_one_entry(self):
+        with pytest.raises(ConfigurationError):
+            MissCache(0, 16)
+
+
+class TestAttach:
+    def test_attach_rewires_cache_backend(self):
+        memory = MainMemory()
+        cache = Cache(CacheConfig(size=1024, line_size=16), backend=memory)
+        backend = attach_miss_cache(cache, 4, memory)
+        assert cache.backend is backend
+
+    def test_attach_rejects_store_data(self):
+        memory = MainMemory(store_data=True)
+        cache = Cache(
+            CacheConfig(size=1024, line_size=16, store_data=True), backend=memory
+        )
+        with pytest.raises(ConfigurationError):
+            attach_miss_cache(cache, 4, memory)
+
+    def test_composed_system_reduces_memory_fetches(self, small_corpus):
+        trace = small_corpus["met"][:8000]
+        memory_plain = MainMemory()
+        plain = Cache(CacheConfig(size=1024, line_size=16), backend=memory_plain)
+        plain.run(trace)
+        memory_mc = MainMemory()
+        cache = Cache(CacheConfig(size=1024, line_size=16), backend=memory_mc)
+        backend = attach_miss_cache(cache, 4, memory_mc)
+        cache.run(trace)
+        assert backend.miss_cache.stats.hits > 0
+        assert memory_mc.meter.fetches < memory_plain.meter.fetches
+        # Write traffic is untouched by the miss cache.
+        assert memory_mc.meter.writebacks == memory_plain.meter.writebacks
+
+
+class TestSerde:
+    def test_round_trip(self):
+        stats = MissCacheStats(inserts=5, fetch_probes=9, hits=4, evictions=1)
+        assert MissCacheStats.from_dict(stats.to_dict()) == stats
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(ValueError):
+            MissCacheStats.from_dict({"surprise": 1})

@@ -1,0 +1,149 @@
+"""Unit tests of the stream buffer (N-way sequential prefetcher)."""
+
+import pytest
+
+from repro.buffers.stream_buffer import (
+    StreamBuffer,
+    StreamBufferBackend,
+    StreamBufferStats,
+    attach_stream_buffer,
+)
+from repro.cache.cache import Cache
+from repro.cache.config import CacheConfig
+from repro.common.errors import ConfigurationError
+from repro.hierarchy.memory import MainMemory
+
+
+def make_backend(streams=2, depth=4, line_size=16):
+    memory = MainMemory()
+    backend = StreamBufferBackend(StreamBuffer(streams, depth, line_size), memory)
+    return backend, memory
+
+
+class TestStreamBufferBackend:
+    def test_sequential_walk_worked_example(self):
+        """Hand-checked walk: streams=2, depth=4, 16B lines.
+
+        fetch 0x1000 -> total miss: 1 demand + 4 prefetches (0x1010..0x1040)
+        fetch 0x1010 -> hit at position 0: consume 1, refill 1 (0x1050)
+        fetch 0x1030 -> hit at position 1 (0x1020 skipped): consume 2,
+                        refill 2 (0x1060, 0x1070)
+        fetch 0x2000 -> total miss: allocates the second (LRU) stream,
+                        1 demand + 4 prefetches
+        """
+        backend, memory = make_backend(streams=2, depth=4)
+        stats = backend.stream_buffer.stats
+
+        backend.fetch(0x1000, 16)
+        assert memory.meter.fetches == 5
+        assert (stats.fetch_probes, stats.hits, stats.allocations) == (1, 0, 1)
+        assert stats.prefetch_fetches == 4
+
+        assert backend.fetch(0x1010, 16) is None
+        assert memory.meter.fetches == 6
+        assert stats.hits == 1
+
+        assert backend.fetch(0x1030, 16) is None
+        assert memory.meter.fetches == 8
+        assert stats.hits == 2
+
+        backend.fetch(0x2000, 16)
+        assert memory.meter.fetches == 13
+        assert (stats.fetch_probes, stats.hits, stats.allocations) == (4, 2, 2)
+        assert stats.prefetch_fetches == 11
+
+    def test_total_miss_allocates_lru_stream(self):
+        backend, _ = make_backend(streams=2, depth=2)
+        backend.fetch(0x1000, 16)  # stream A: 0x1010, 0x1020
+        backend.fetch(0x2000, 16)  # stream B: 0x2010, 0x2020
+        backend.fetch(0x1010, 16)  # touch A: B becomes LRU
+        backend.fetch(0x3000, 16)  # must displace B, not A
+        assert backend.fetch(0x1020, 16) is None  # A survived
+        assert backend.stream_buffer.lookup(0x2010) is None  # B gone
+
+    def test_demand_fetch_precedes_prefetches(self):
+        issued = []
+
+        class Recorder(MainMemory):
+            def fetch(self, line_address, line_size):
+                issued.append(line_address)
+                return super().fetch(line_address, line_size)
+
+        memory = Recorder()
+        backend = StreamBufferBackend(StreamBuffer(1, 2, 16), memory)
+        backend.fetch(0x1000, 16)
+        assert issued == [0x1000, 0x1010, 0x1020]
+
+    def test_writes_pass_through_untouched(self):
+        backend, memory = make_backend()
+        backend.write_back(0x1000, 16, 0xFFFF)
+        backend.write_through(0x2000, 4)
+        assert memory.meter.writebacks == 1
+        assert memory.meter.write_throughs == 1
+        assert backend.stream_buffer.stats.fetch_probes == 0
+
+    def test_flush_drops_streams_without_traffic(self):
+        backend, memory = make_backend(streams=1, depth=2)
+        backend.fetch(0x1000, 16)
+        before = memory.meter.to_dict()
+        backend.flush()
+        assert memory.meter.to_dict() == before
+        # The prefetched successor now misses again.
+        backend.fetch(0x1010, 16)
+        assert backend.stream_buffer.stats.hits == 0
+
+    def test_hit_fraction(self):
+        stats = StreamBufferStats(fetch_probes=10, hits=4)
+        assert stats.hit_fraction == 0.4
+        assert StreamBufferStats().hit_fraction == 0.0
+
+    def test_rejects_degenerate_geometry(self):
+        with pytest.raises(ConfigurationError):
+            StreamBuffer(0, 4, 16)
+        with pytest.raises(ConfigurationError):
+            StreamBuffer(2, 0, 16)
+
+
+class TestAttach:
+    def test_attach_rewires_cache_backend(self):
+        memory = MainMemory()
+        cache = Cache(CacheConfig(size=1024, line_size=16), backend=memory)
+        backend = attach_stream_buffer(cache, 4, 4, memory)
+        assert cache.backend is backend
+
+    def test_attach_rejects_store_data(self):
+        memory = MainMemory(store_data=True)
+        cache = Cache(
+            CacheConfig(size=1024, line_size=16, store_data=True), backend=memory
+        )
+        with pytest.raises(ConfigurationError):
+            attach_stream_buffer(cache, 4, 4, memory)
+
+    def test_sequential_workload_hits_streams(self, small_corpus):
+        trace = small_corpus["linpack"][:8000] if len(
+            small_corpus["linpack"]
+        ) else small_corpus["ccom"][:8000]
+        memory = MainMemory()
+        cache = Cache(CacheConfig(size=1024, line_size=16), backend=memory)
+        backend = attach_stream_buffer(cache, 4, 4, memory)
+        cache.run(trace)
+        stats = backend.stream_buffer.stats
+        assert stats.fetch_probes == cache.stats.fetches
+        assert stats.hits > 0
+        # Every downstream fetch is either a demand miss that missed the
+        # streams or a prefetch: the meter must account for exactly both.
+        assert memory.meter.fetches == (
+            stats.fetch_probes - stats.hits
+        ) + stats.prefetch_fetches
+
+
+class TestSerde:
+    def test_round_trip(self):
+        stats = StreamBufferStats(
+            fetch_probes=9, hits=3, allocations=5, prefetch_fetches=21
+        )
+        assert StreamBufferStats.from_dict(stats.to_dict()) == stats
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(ValueError):
+            StreamBufferStats.from_dict({"surprise": 1})

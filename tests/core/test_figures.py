@@ -41,6 +41,8 @@ class TestRegistry:
             "fig23",
             "fig24",
             "fig25",
+            "hier_miss",
+            "hier_traffic",
         }
         assert set(FIGURES) == expected
 
@@ -117,6 +119,61 @@ class TestSeriesContents:
         assert result.value("average", 8) == result.series["average"][3]
         with pytest.raises(ValueError):
             result.value("average", 3)
+
+
+class TestHierarchyPanels:
+    """The mechanism-comparison panels, on a trimmed L1 grid.
+
+    The full five-size grid is 150 composed two-level runs — an
+    integration-scale cost — so the structural test shrinks the swept
+    axis; everything else (variants, metrics, ordering) is the real
+    driver code path.
+    """
+
+    @pytest.fixture(scope="class")
+    def panels(self):
+        from repro.core.figures import hierarchy_fig
+
+        sizes = hierarchy_fig.L1_SIZES_KB
+        hierarchy_fig.L1_SIZES_KB = (1, 4)
+        try:
+            yield {
+                fid: get_figure(fid, scale=0.05)
+                for fid in ("hier_miss", "hier_traffic")
+            }
+        finally:
+            hierarchy_fig.L1_SIZES_KB = sizes
+
+    def test_structure(self, panels):
+        from repro.core.figures.hierarchy_fig import VARIANTS
+
+        for fid, result in panels.items():
+            assert isinstance(result, FigureResult)
+            assert result.figure_id == fid
+            assert result.x_values == [1, 4]
+            assert list(result.series) == [label for label, _ in VARIANTS]
+            assert result.title in result.render()
+
+    def test_every_structure_cuts_the_miss_ratio(self, panels):
+        series = panels["hier_miss"].series
+        for label in ("+victim", "+miss", "+stream", "combined"):
+            for with_structure, baseline in zip(series[label], series["baseline"]):
+                assert with_structure < baseline, label
+        # Combined stacks all three, so it beats each alone.
+        for label in ("+victim", "+miss", "+stream"):
+            for combined, alone in zip(series["combined"], series[label]):
+                assert combined <= alone, label
+
+    def test_victim_and_miss_caches_never_add_traffic(self, panels):
+        series = panels["hier_traffic"].series
+        for label in ("+victim", "+miss"):
+            for with_structure, baseline in zip(series[label], series["baseline"]):
+                assert with_structure <= baseline, label
+
+    def test_stream_prefetches_are_real_boundary_traffic(self, panels):
+        series = panels["hier_traffic"].series
+        for with_streams, baseline in zip(series["+stream"], series["baseline"]):
+            assert with_streams > baseline
 
 
 class TestCli:

@@ -19,7 +19,7 @@ from repro.cache.config import CacheConfig
 from repro.cache.policies import WriteHitPolicy, WriteMissPolicy
 from repro.exec.keys import ExperimentSpec
 from repro.exec.pool import PoolTelemetry, RunEvent
-from repro.hierarchy.system import SystemConfig
+from repro.hierarchy.system import HierarchyConfig, LevelConfig, SystemConfig
 
 SPECS = [
     ExperimentSpec(
@@ -57,6 +57,24 @@ SPECS = [
         0.1,
         1991,
         SystemConfig(cache=CacheConfig(size=1024), write_cache_entries=4),
+    ),
+    ExperimentSpec(
+        "system",
+        "ccom",
+        0.1,
+        1991,
+        HierarchyConfig(
+            levels=(
+                LevelConfig(
+                    cache=CacheConfig(size=1024, line_size=16),
+                    victim_entries=4,
+                    miss_entries=2,
+                    stream_buffers=2,
+                    stream_depth=4,
+                ),
+                LevelConfig(cache=CacheConfig(size=65536, line_size=16)),
+            )
+        ),
     ),
 ]
 

@@ -26,7 +26,7 @@ from repro.exec.experiments import (
 from repro.exec.keys import ExperimentSpec, RunKey
 from repro.exec.pool import ExperimentPool
 from repro.exec.store import ResultStore
-from repro.hierarchy.system import SystemConfig
+from repro.hierarchy.system import HierarchyConfig, LevelConfig, SystemConfig
 
 SCALE = 0.05
 SEED = 1991
@@ -71,6 +71,41 @@ def mixed_batch():
             SCALE,
             SEED,
             SystemConfig(cache=CacheConfig(size=1024), victim_entries=4),
+        ),
+        # Two-level hierarchy graphs with every attachable structure:
+        # these shapes only exist post-refactor, so they prove the full
+        # nested config/stats serde across the pool's worker boundary.
+        ExperimentSpec(
+            "system",
+            "met",
+            SCALE,
+            SEED,
+            HierarchyConfig(
+                levels=(
+                    LevelConfig(
+                        cache=CacheConfig(size=1024, line_size=16),
+                        victim_entries=4,
+                        miss_entries=2,
+                    ),
+                    LevelConfig(cache=CacheConfig(size=16384, line_size=16)),
+                )
+            ),
+        ),
+        ExperimentSpec(
+            "system",
+            "linpack",
+            SCALE,
+            SEED,
+            HierarchyConfig(
+                levels=(
+                    LevelConfig(
+                        cache=CacheConfig(size=1024, line_size=16),
+                        stream_buffers=2,
+                        stream_depth=4,
+                    ),
+                    LevelConfig(cache=CacheConfig(size=16384, line_size=16)),
+                )
+            ),
         ),
     ]
 

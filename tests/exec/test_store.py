@@ -143,7 +143,7 @@ class TestMixedKinds:
         """One record each of cache, write_cache and system kind."""
         from repro.buffers.write_cache import WriteCacheStats
         from repro.hierarchy.memory import TrafficMeter
-        from repro.hierarchy.system import SystemConfig, SystemStats
+        from repro.hierarchy.system import LevelStats, SystemConfig, SystemStats
 
         cache_key = make_key(size="1KB")
         wc_key = ExperimentSpec(
@@ -154,7 +154,10 @@ class TestMixedKinds:
         store.put(wc_key, WriteCacheStats(writes=50, merged=20))
         store.put(
             sys_key,
-            SystemStats(l1=make_stats(), memory=TrafficMeter(fetches=7)),
+            SystemStats(
+                levels=[LevelStats(cache=make_stats())],
+                boundaries=[TrafficMeter(fetches=7)],
+            ),
         )
         return {"cache": cache_key, "write_cache": wc_key, "system": sys_key}
 

@@ -10,6 +10,7 @@ from repro.hierarchy.memory import MainMemory, TrafficMeter
 from repro.hierarchy.system import (
     CacheLevelBackend,
     CacheSystem,
+    LevelStats,
     SystemConfig,
     SystemStats,
     simulate_system,
@@ -156,7 +157,8 @@ class TestVictimComposition:
 class TestSystemStatsSerde:
     def test_round_trip_bare(self):
         stats = SystemStats(
-            l1=CacheStats(reads=10, writes=3), memory=TrafficMeter(fetches=4)
+            levels=[LevelStats(cache=CacheStats(reads=10, writes=3))],
+            boundaries=[TrafficMeter(fetches=4)],
         )
         assert SystemStats.from_dict(stats.to_dict()) == stats
 
@@ -177,11 +179,18 @@ class TestSystemStatsSerde:
 
     def test_optional_fields_omitted_when_absent(self):
         payload = SystemStats().to_dict()
-        assert set(payload) == {"l1", "memory"}
+        assert set(payload) == {"levels", "boundaries"}
+        assert set(payload["levels"][0]) == {"cache"}
 
     def test_unknown_field_raises(self):
         payload = SystemStats().to_dict()
         payload["victim_buffer"] = {}
+        with pytest.raises(ValueError):
+            SystemStats.from_dict(payload)
+
+    def test_unknown_level_field_raises(self):
+        payload = SystemStats().to_dict()
+        payload["levels"][0]["victim_buffer"] = {}
         with pytest.raises(ValueError):
             SystemStats.from_dict(payload)
 
