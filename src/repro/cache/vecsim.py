@@ -123,19 +123,54 @@ def _cached_plan(trace: Trace, line_size: int) -> "_TracePlan":
     return plan
 
 
-def simulate_direct_mapped(trace: Trace, config: CacheConfig, flush: bool) -> CacheStats:
+def simulate_direct_mapped(
+    trace: Trace, config: CacheConfig, flush: bool, cached: bool = False
+) -> CacheStats:
     """Run ``trace`` through a direct-mapped stats-only cache, vectorised.
 
     The caller (:func:`repro.cache.fastsim.simulate_trace`) guarantees
-    :func:`supports`; this function assumes it.  Stateless: plans are
-    built fresh (the batch entry point :func:`simulate_batch` is the one
-    that amortises them).
+    :func:`supports`; this function assumes it.  Stateless by default:
+    plans are built fresh (the batch entry point :func:`simulate_batch`
+    is the one that amortises them).  ``cached`` routes the plan through
+    the cross-call LRU instead — the hierarchy kernel uses it so a sweep
+    of systems over one trace shares the trace-side passes.
     """
     assert supports(config), "caller must check vecsim.supports(config)"
     if len(trace) == 0:
         return _empty_stats(trace, config)
-    plan = _TracePlan(trace, config.line_size)
+    plan = (
+        _cached_plan(trace, config.line_size)
+        if cached
+        else _TracePlan(trace, config.line_size)
+    )
     return _simulate_on_plan(plan, plan.stream(config.num_sets), config, flush)
+
+
+def simulate_with_outcomes(
+    trace: Trace, config: CacheConfig, flush: bool, cached: bool = False
+) -> Tuple[CacheStats, "BoundaryOutcomes"]:
+    """:func:`simulate_direct_mapped` plus the run's downstream events.
+
+    Returns ``(stats, outcomes)`` where ``outcomes`` names, per
+    program-order segment, exactly which backend transactions the
+    reference :class:`~repro.cache.cache.Cache` would have emitted for
+    that segment — dirty-victim write-backs (with the victim's line
+    address and dirty byte mask), demand line fetches and write-throughs
+    — plus the end-of-run flush write-backs in set-index order.  The
+    hierarchy kernel (:mod:`repro.hierarchy.hiersim`) materializes these
+    into the next level's reference stream.
+    """
+    assert supports(config), "caller must check vecsim.supports(config)"
+    if len(trace) == 0:
+        return _empty_stats(trace, config), BoundaryOutcomes.empty(config.line_size)
+    plan = (
+        _cached_plan(trace, config.line_size)
+        if cached
+        else _TracePlan(trace, config.line_size)
+    )
+    stream = plan.stream(config.num_sets)
+    stats = _simulate_on_plan(plan, stream, config, flush)
+    return stats, _derive_outcomes(plan, stream, config, flush)
 
 
 def simulate_batch(
@@ -339,6 +374,7 @@ class _SegmentStream:
 
     __slots__ = (
         "line_size",
+        "order",
         "set_index",
         "tag",
         "store",
@@ -364,6 +400,10 @@ class _SegmentStream:
         set_index = plan.line_number & (num_sets - 1)
         order = np.argsort(set_index, kind="stable")
         self.line_size = plan.line_size
+        #: Program-order index of each grouped-order segment; scattering
+        #: through it (``program[order] = grouped``) restores program
+        #: order, which the boundary-outcome export needs.
+        self.order = order
         self.set_index = set_index[order]
         self.tag = plan.line_number[order] >> index_bits
         self.store = plan.store[order]
@@ -548,6 +588,7 @@ class _WritebackState:
     """
 
     __slots__ = (
+        "run_dirty",
         "writes_to_dirty",
         "victim_dirty_lines",
         "victim_dirty_bytes",
@@ -562,6 +603,9 @@ class _WritebackState:
             np.flatnonzero(alloc.run_start),
             axis=0,
         )
+        #: Per-run dirty mask at end of run (indexed by ``run_id - 1``);
+        #: the outcome export reads victim and flush masks out of it.
+        self.run_dirty = run_dirty
         stores_before = _counts_since_segment_start(
             store, alloc.run_start, stream.position, inclusive=False
         )
@@ -589,7 +633,7 @@ class _ValidateState:
     real partial — later "candidates" hit.
     """
 
-    __slots__ = ("allocations", "partial_reads")
+    __slots__ = ("eligible", "fetch_candidate", "allocations", "partial_reads")
 
     def __init__(
         self, stream: _SegmentStream, alloc: _AllocState, granularity: int
@@ -602,6 +646,7 @@ class _ValidateState:
             & ((stream.offset & granule_mask) == 0)
             & ((stream.size & granule_mask) == 0)
         )
+        self.eligible = eligible
         self.allocations = int(np.count_nonzero(eligible & alloc.run_start))
         full = _full_line_masks(stream.line_size)
         contribution = np.where(
@@ -617,7 +662,16 @@ class _ValidateState:
         )
         uncovered = _any_lane((valid_before & stream.mask) != stream.mask)
         candidate = load & alloc.tag_hit & uncovered
-        self.partial_reads = len(np.unique(alloc.run_id[candidate]))
+        # Only the *first* candidate of a run actually fetches: its refill
+        # makes the whole line valid, so later candidates (computed
+        # against a scan that does not model the refill) really hit.
+        self.fetch_candidate = candidate & (
+            _counts_since_segment_start(
+                candidate, alloc.run_start, stream.position, inclusive=True
+            )
+            == 1
+        )
+        self.partial_reads = int(np.count_nonzero(self.fetch_candidate))
 
 
 def _classify_allocating(
@@ -692,7 +746,7 @@ def _lead_load(stream: _SegmentStream) -> Tuple[np.ndarray, np.ndarray, np.ndarr
 
 
 class _AroundState:
-    __slots__ = ("write_hits", "read_hits", "victims", "flushed_lines")
+    __slots__ = ("load_hit", "write_hits", "read_hits", "victims", "flushed_lines")
 
     def __init__(self, stream: _SegmentStream) -> None:
         store = stream.store
@@ -712,6 +766,7 @@ class _AroundState:
         load_hit = (
             load & resident_prev & (stream.tag[np.maximum(lead_prev, 0)] == stream.tag)
         )
+        self.load_hit = load_hit
         self.read_hits = int(np.count_nonzero(load_hit))
         self.victims = int(np.count_nonzero(load & resident_prev & ~load_hit))
         self.flushed_lines = len(np.unique(stream.set_index[load]))
@@ -719,6 +774,7 @@ class _AroundState:
 
 class _InvalidateState:
     __slots__ = (
+        "load_hit",
         "write_hits",
         "invalidations",
         "read_hits",
@@ -767,12 +823,171 @@ class _InvalidateState:
         load_hit = (
             load & resident_prev & (stream.tag[np.maximum(lead_prev, 0)] == stream.tag)
         )
+        self.load_hit = load_hit
         self.read_hits = int(np.count_nonzero(load_hit))
         self.victims = int(np.count_nonzero(load & resident_prev & ~load_hit))
         final_valid = has_lead[stream.last_in_set] & (
             mismatches_so_far[stream.last_in_set] == 0
         )
         self.flushed_lines = int(np.count_nonzero(final_valid))
+
+
+class BoundaryOutcomes:
+    """What one run emitted toward its next level, in program order.
+
+    Segment arrays (``line_number``/``offset``/``size``) are the plan's
+    program-order expansion; ``fetch`` and ``write_through`` flag the
+    segments that emitted those transactions.  Write-backs are sparse
+    events: ``wb_segment[j]`` is the program-order segment whose eviction
+    wrote back the line at ``wb_line_address[j]`` with dirty byte mask
+    ``wb_mask[j]`` (``(events, lanes)`` uint64, lane ``l`` covering bytes
+    ``[64l, 64l+64)``); events are sorted by segment.  Flush write-backs
+    (``flush_line_address``/``flush_mask``) come last, in set-index order
+    — exactly the order :meth:`repro.cache.cache.Cache.flush` drains.
+
+    Per segment the emission order is **write-back, fetch,
+    write-through**: the reference cache evicts before it fetches
+    (:meth:`~repro.cache.cache.Cache._evict_if_full` precedes
+    ``_fetch_line``) and applies the write hit — which sends the
+    write-through — after the fetch completes.
+    """
+
+    __slots__ = (
+        "line_size",
+        "lanes",
+        "line_number",
+        "offset",
+        "size",
+        "fetch",
+        "write_through",
+        "wb_segment",
+        "wb_line_address",
+        "wb_mask",
+        "flush_line_address",
+        "flush_mask",
+    )
+
+    @classmethod
+    def empty(cls, line_size: int) -> "BoundaryOutcomes":
+        """The outcomes of a zero-length trace (no segments, no events)."""
+        out = cls()
+        lanes = _lane_count(line_size)
+        out.line_size = line_size
+        out.lanes = lanes
+        out.line_number = np.empty(0, dtype=np.int64)
+        out.offset = np.empty(0, dtype=np.int64)
+        out.size = np.empty(0, dtype=np.int64)
+        out.fetch = np.empty(0, dtype=bool)
+        out.write_through = np.empty(0, dtype=bool)
+        out.wb_segment = np.empty(0, dtype=np.int64)
+        out.wb_line_address = np.empty(0, dtype=np.int64)
+        out.wb_mask = np.empty((0, lanes), dtype=np.uint64)
+        out.flush_line_address = np.empty(0, dtype=np.int64)
+        out.flush_mask = np.empty((0, lanes), dtype=np.uint64)
+        return out
+
+
+def _mask_rows(masks: np.ndarray, lanes: int) -> np.ndarray:
+    """Mask arrays as uniform ``(rows, lanes)`` uint64 (flat when 1 lane)."""
+    return masks.reshape(-1, lanes)
+
+
+def _line_bases(
+    tags: np.ndarray, set_indices: np.ndarray, config: CacheConfig
+) -> np.ndarray:
+    """Line base addresses from grouped-order tags and set indices."""
+    return ((tags << config.index_bits) | set_indices) << config.offset_bits
+
+
+def _derive_outcomes(
+    plan: _TracePlan, stream: _SegmentStream, config: CacheConfig, flush: bool
+) -> BoundaryOutcomes:
+    """The per-segment downstream events of one classified run.
+
+    Grouped-order flags come straight out of the cached classification
+    state; the stream's stored sort permutation scatters them back to
+    program order.  Only the allocating policies ever write back (the
+    no-allocate policies are write-through-only by validation), so their
+    branch is the only one touching dirty masks.
+    """
+    count = len(stream)
+    lanes = plan.lanes
+    store_g = stream.store
+    load_g = ~store_g
+    order = stream.order
+    out = BoundaryOutcomes()
+    out.line_size = plan.line_size
+    out.lanes = lanes
+    out.line_number = plan.line_number
+    out.offset = plan.offset
+    out.size = plan.size
+    out.wb_segment = np.empty(0, dtype=np.int64)
+    out.wb_line_address = np.empty(0, dtype=np.int64)
+    out.wb_mask = np.empty((0, lanes), dtype=np.uint64)
+    out.flush_line_address = np.empty(0, dtype=np.int64)
+    out.flush_mask = np.empty((0, lanes), dtype=np.uint64)
+
+    if config.write_miss in (
+        WriteMissPolicy.FETCH_ON_WRITE,
+        WriteMissPolicy.WRITE_VALIDATE,
+    ):
+        alloc = stream.alloc_state()
+        fetch_g = load_g & alloc.run_start
+        if config.write_miss is WriteMissPolicy.WRITE_VALIDATE:
+            vstate = stream.validate_state(config.valid_granularity)
+            # Ineligible (sub-granule) store misses fall back to
+            # fetch-on-write; eligible ones allocate without fetching.
+            fetch_g = (
+                fetch_g
+                | vstate.fetch_candidate
+                | (store_g & alloc.run_start & ~vstate.eligible)
+            )
+        else:
+            fetch_g = fetch_g | (store_g & alloc.run_start)
+        if config.is_write_back:
+            wb = alloc.writeback()
+            run_dirty = _mask_rows(wb.run_dirty, lanes)
+            victim_pos = np.flatnonzero(alloc.victim_at)
+            victim_mask = run_dirty[alloc.run_id[victim_pos] - 2]
+            dirty = (victim_mask != 0).any(axis=1)
+            wb_pos = victim_pos[dirty]
+            # The victim's tag is the previous segment of the set group
+            # (it belongs to the run the eviction ends).
+            wb_line = _line_bases(
+                stream.tag[wb_pos - 1], stream.set_index[wb_pos], config
+            )
+            wb_segment = order[wb_pos]
+            perm = np.argsort(wb_segment, kind="stable")
+            out.wb_segment = wb_segment[perm]
+            out.wb_line_address = wb_line[perm]
+            out.wb_mask = victim_mask[dirty][perm]
+            if flush:
+                last_pos = np.flatnonzero(stream.last_in_set)
+                flush_mask = run_dirty[alloc.run_id[last_pos] - 1]
+                dirty = (flush_mask != 0).any(axis=1)
+                flush_pos = last_pos[dirty]
+                # last_in_set positions ascend by set index in grouped
+                # order — the order Cache.flush drains sets in.
+                out.flush_line_address = _line_bases(
+                    stream.tag[flush_pos], stream.set_index[flush_pos], config
+                )
+                out.flush_mask = flush_mask[dirty]
+    else:
+        # No-allocate (write-around / write-invalidate): loads that miss
+        # fetch; no line is ever dirty, so nothing ever writes back.
+        state = (
+            stream.around_state()
+            if config.write_miss is WriteMissPolicy.WRITE_AROUND
+            else stream.invalidate_state()
+        )
+        fetch_g = load_g & ~state.load_hit
+
+    out.fetch = np.empty(count, dtype=bool)
+    out.fetch[order] = fetch_g
+    out.write_through = (
+        plan.store if config.is_write_through else np.zeros(count, dtype=bool)
+    )
+    return out
 
 
 def _classify_write_around(

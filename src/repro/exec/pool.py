@@ -230,6 +230,7 @@ class PoolTelemetry(CounterSerde):
     degraded_runs: int = 0  #: runs resolved via bisected halves or inline
     profiled_runs: int = 0  #: runs served from a reuse-distance ladder profile
     profile_passes: int = 0  #: profiling passes paid (one per ladder line size)
+    hier_vector_runs: int = 0  #: hierarchy runs vectorized level-by-level
 
     @property
     def runs_per_batch(self) -> float:
@@ -253,6 +254,7 @@ class PoolTelemetry(CounterSerde):
         self.degraded_runs += other.degraded_runs
         self.profiled_runs += other.profiled_runs
         self.profile_passes += other.profile_passes
+        self.hier_vector_runs += other.hier_vector_runs
 
     def line(self) -> str:
         """Stable machine-greppable summary (CI asserts on ``computed=``)."""
@@ -267,7 +269,8 @@ class PoolTelemetry(CounterSerde):
             f"pool_rebuilds={self.pool_rebuilds} "
             f"degraded_runs={self.degraded_runs} "
             f"profiled_runs={self.profiled_runs} "
-            f"profile_passes={self.profile_passes}"
+            f"profile_passes={self.profile_passes} "
+            f"hier_vector_runs={self.hier_vector_runs}"
         )
 
 
@@ -706,6 +709,7 @@ class ExperimentPool:
             if info:
                 telemetry.profiled_runs += int(info.get("profiled_runs", 0))
                 telemetry.profile_passes += int(info.get("profile_passes", 0))
+                telemetry.hier_vector_runs += int(info.get("hier_vector_runs", 0))
             # The batched call is one timed unit; attribute its wall-time
             # evenly so per-run sim_seconds still sum to engine time.
             share = seconds / len(task.specs)

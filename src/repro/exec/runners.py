@@ -38,6 +38,7 @@ from repro.cache.fastsim import (
 )
 from repro.cache.stats import CacheStats
 from repro.exec.experiments import register_runner
+from repro.hierarchy.hiersim import simulate_hierarchy_batch_info
 from repro.hierarchy.system import (
     SYSTEM_ENGINE_VERSION,
     HierarchyConfig,
@@ -110,6 +111,37 @@ def run_system(spec, trace):
     return simulate_system(trace, spec.config, flush=spec.flush)
 
 
+def run_system_batch(specs, trace):
+    """A grid of hierarchy runs sharing one trace's vectorised passes.
+
+    Same grouping invariant as :func:`run_cache_batch`: the pool only
+    groups specs agreeing on ``(workload, scale, seed, flush)``, and any
+    sub-list of a uniform group is itself uniform, so batch bisection
+    re-dispatches stay bit-identical.
+    """
+    flush = specs[0].flush
+    assert all(spec.flush == flush for spec in specs)
+    results, _ = simulate_hierarchy_batch_info(
+        trace, [spec.config for spec in specs], flush=flush
+    )
+    return results
+
+
+def run_system_batch_info(specs, trace):
+    """:func:`run_system_batch` plus dispatch counters for telemetry.
+
+    ``hier_vector_runs`` counts hierarchy runs whose first level went
+    through the vector kernel (fully-composed declines don't count); the
+    pool folds it into :class:`~repro.exec.pool.PoolTelemetry`.
+    """
+    flush = specs[0].flush
+    assert all(spec.flush == flush for spec in specs)
+    results, info = simulate_hierarchy_batch_info(
+        trace, [spec.config for spec in specs], flush=flush
+    )
+    return results, {"hier_vector_runs": info["hier_vector_runs"]}
+
+
 register_runner(
     "cache",
     run_cache,
@@ -148,5 +180,7 @@ register_runner(
     # v2: per-level stats lists + per-boundary meters (the hierarchy
     # refactor); v1 records quarantine on read rather than misdecode.
     schema_version=2,
+    batch_runner=run_system_batch,
+    info_batch_runner=run_system_batch_info,
     config_type=HierarchyConfig,
 )

@@ -646,40 +646,15 @@ class CacheSystem:
 def simulate_system(trace: Trace, config, flush: bool = True) -> SystemStats:
     """Run one composed-hierarchy experiment and return its stats.
 
-    When the composition is a bare one-level cache over memory (no
-    structures, stats-only), the meter is *derived* from the fast
-    simulator's counters instead of driving the reference cache through a
-    real backend chain: every backend call site pairs one meter increment
-    with one L1 counter increment, so the derivation is exact (the test
-    suite asserts bit-identity against the composed path).  Structured
-    and multi-level compositions take the composed path.
+    Dispatches through :func:`repro.hierarchy.hiersim.simulate_hierarchy`:
+    structure-free stats-only levels run level-by-level through the
+    vector kernel with derived boundary meters, and anything the kernel
+    declines (attached structures, set-associative, data-carrying or
+    sectored levels) runs through the composed :class:`CacheSystem` over
+    the already-materialized stream.  Every route is bit-identical to
+    composing the whole graph (the differential suites assert it
+    stat-for-stat), so results never depend on the route taken.
     """
-    config = _as_hierarchy(config)
-    level = config.levels[0]
-    if (
-        len(config.levels) == 1
-        and level.write_cache_entries == 0
-        and level.victim_entries == 0
-        and level.miss_entries == 0
-        and level.stream_buffers == 0
-        and not level.cache.store_data
-    ):
-        from repro.cache.fastsim import simulate_trace
+    from repro.hierarchy import hiersim
 
-        stats = simulate_trace(trace, level.cache, flush=flush)
-        writebacks = stats.writebacks + stats.flushed_dirty_lines
-        meter = TrafficMeter(
-            fetches=stats.fetches,
-            fetch_bytes=stats.fetch_bytes,
-            writebacks=writebacks,
-            # MainMemory meters each write-back at full line width; the
-            # subblock_dirty_writeback byte savings live in the L1's own
-            # writeback_bytes counter.
-            writeback_bytes=writebacks * level.cache.line_size,
-            write_throughs=stats.write_throughs,
-            write_through_bytes=stats.write_through_bytes,
-        )
-        return SystemStats(levels=[LevelStats(cache=stats)], boundaries=[meter])
-    system = CacheSystem(config)
-    system.run(trace, flush=flush)
-    return system.system_stats()
+    return hiersim.simulate_hierarchy(trace, _as_hierarchy(config), flush=flush)
