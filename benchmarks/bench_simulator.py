@@ -16,8 +16,10 @@ Two entry points:
   through the reuse-distance ladder profiler against that same batched
   path, and a ``hier`` section timing the two-level hier_miss figure
   grid through the level-by-level hierarchy kernel against the composed
-  loop engine, written to ``BENCH_simulator.json`` as refs/sec plus the
-  speedups.  ``--check BASELINE`` compares the measured *speedups*
+  loop engine, and an ``ingest`` section timing the chunked array-native
+  trace parser (:mod:`repro.trace.ingest`) against the line-by-line
+  ``read_trace`` reader on the same text file, written to
+  ``BENCH_simulator.json`` as refs/sec plus the speedups.  ``--check BASELINE`` compares the measured *speedups*
   against a committed baseline and fails on a >30% regression
   (``--tolerance``); sections absent from the baseline (a freshly added
   benchmark) warn and record instead of failing.  Speedup ratios are
@@ -240,7 +242,48 @@ def run_smoke_grid(workload="grr", scale=0.3, repeats=3):
     report["batch"] = _bench_batch_grid(trace, repeats)
     report["rdsim"] = _bench_rdsim_grid(trace, repeats)
     report["hier"] = _bench_hier_grid(trace, repeats)
+    report["ingest"] = _bench_ingest(trace, repeats)
     return report
+
+
+def _bench_ingest(trace, repeats):
+    """Text-parse refs/sec: line-by-line ``read_trace`` vs chunked ingest.
+
+    The trace is written once to a temporary text file; both sides then
+    parse the same bytes from a warm page cache, so the ratio is pure
+    parser cost — exactly what ``repro trace add`` and a chunked
+    simulation over an ingested workload pay relative to the legacy
+    reader.
+    """
+    import os
+    import tempfile
+
+    from repro.trace.ingest import iter_trace_chunks
+    from repro.trace.io import read_trace, write_trace
+
+    handle, path = tempfile.mkstemp(suffix=".trace")
+    os.close(handle)
+    try:
+        write_trace(trace, path)
+        read_best = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            read_trace(path)
+            read_best = min(read_best, time.perf_counter() - started)
+        ingest_best = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            parsed = sum(len(chunk) for chunk in iter_trace_chunks(path))
+            ingest_best = min(ingest_best, time.perf_counter() - started)
+        assert parsed == len(trace)
+    finally:
+        os.unlink(path)
+    return {
+        "refs": len(trace),
+        "read_trace_refs_per_sec": round(len(trace) / read_best),
+        "ingest_refs_per_sec": round(len(trace) / ingest_best),
+        "speedup": round(read_best / ingest_best, 2),
+    }
 
 
 def _bench_batch_grid(trace, repeats):
@@ -391,7 +434,7 @@ def measure_fault_gate_overhead(trace, config, repeats=3, calls=100_000):
 
 
 #: Grid-level report sections carrying a ``speedup`` the baseline gates.
-GRID_SECTIONS = ("batch", "rdsim", "hier")
+GRID_SECTIONS = ("batch", "rdsim", "hier", "ingest")
 
 
 def check_against_baseline(report, baseline, tolerance):
@@ -509,6 +552,13 @@ def main(argv=None):
         f"{'hier-figure-grid':22s} loop   {hier['loop_refs_per_sec'] / 1e6:5.2f}"
         f" Mref/s  hier  {hier['hier_refs_per_sec'] / 1e6:7.2f} Mref/s  "
         f"speedup {hier['speedup']:.2f}x ({hier['grid_configs']} configs)"
+    )
+
+    ingest = report["ingest"]
+    print(
+        f"{'ingest-parse':22s} lines  {ingest['read_trace_refs_per_sec'] / 1e6:5.2f}"
+        f" Mref/s  chunk {ingest['ingest_refs_per_sec'] / 1e6:7.2f} Mref/s  "
+        f"speedup {ingest['speedup']:.2f}x ({ingest['refs']} refs)"
     )
 
     failed = False

@@ -208,7 +208,14 @@ def simulate_trace_batch(
     return results
 
 
-def _simulate_direct_mapped(trace: Trace, config: CacheConfig, flush: bool) -> CacheStats:
+def _simulate_direct_mapped(
+    trace: Trace, config: CacheConfig, flush: bool, state=None
+) -> CacheStats:
+    """The loop engine.  ``state`` (``(tags, valid, dirty)`` lists, one
+    entry per set) makes the run resumable: the lists are mutated in
+    place, so feeding consecutive chunks with the same state tuple is
+    bit-identical to one pass over the concatenated trace (see
+    :class:`repro.cache.chunked.LoopCursor`)."""
     line_size = config.line_size
     offset_bits = config.offset_bits
     index_bits = config.index_bits
@@ -227,9 +234,12 @@ def _simulate_direct_mapped(trace: Trace, config: CacheConfig, flush: bool) -> C
     write_invalidate = miss_policy is WriteMissPolicy.WRITE_INVALIDATE
     granule = config.valid_granularity
 
-    tags = [-1] * num_sets
-    valid = [0] * num_sets
-    dirty = [0] * num_sets
+    if state is None:
+        tags = [-1] * num_sets
+        valid = [0] * num_sets
+        dirty = [0] * num_sets
+    else:
+        tags, valid, dirty = state
 
     # Local counters (bound once; this is the hot loop).
     reads = writes = 0
@@ -389,16 +399,65 @@ def _simulate_direct_mapped(trace: Trace, config: CacheConfig, flush: bool) -> C
     stats.instructions = trace.instruction_count
 
     if flush:
-        for set_index in range(num_sets):
-            if tags[set_index] == -1:
-                continue
-            stats.flushed_lines += 1
-            dirty_mask = dirty[set_index]
-            if dirty_mask:
-                stats.flushed_dirty_lines += 1
-                dirty_byte_count = bin(dirty_mask).count("1")
-                stats.flushed_dirty_bytes += dirty_byte_count
-                stats.flush_writeback_bytes += (
-                    dirty_byte_count if subblock_wb else line_size
-                )
+        _flush_direct_mapped(stats, tags, dirty, config)
     return stats
+
+
+def _flush_direct_mapped(stats: CacheStats, tags, dirty, config: CacheConfig) -> None:
+    """Flush-stop accounting over final loop-engine state, in set order."""
+    line_size = config.line_size
+    subblock_wb = config.subblock_dirty_writeback
+    for set_index in range(len(tags)):
+        if tags[set_index] == -1:
+            continue
+        stats.flushed_lines += 1
+        dirty_mask = dirty[set_index]
+        if dirty_mask:
+            stats.flushed_dirty_lines += 1
+            dirty_byte_count = bin(dirty_mask).count("1")
+            stats.flushed_dirty_bytes += dirty_byte_count
+            stats.flush_writeback_bytes += (
+                dirty_byte_count if subblock_wb else line_size
+            )
+
+
+# ---------------------------------------------------------------------------
+# Chunk-resumable entry points (streamed ingestion).
+# ---------------------------------------------------------------------------
+
+
+def simulate_trace_chunked(
+    chunks, config: CacheConfig, flush: bool = True, backend: str = None
+):
+    """Run a trace presented as an iterable of :class:`Trace` chunks.
+
+    Dispatches exactly like :func:`simulate_trace` and produces stats
+    bit-identical to one in-memory pass over the concatenated chunks,
+    while holding only one chunk (plus per-set cache state) in memory —
+    the consumption side of :func:`repro.trace.ingest.iter_trace_chunks`.
+    """
+    from repro.cache.chunked import open_cursor
+
+    cursor = open_cursor(config, flush=flush, backend=backend)
+    for chunk in chunks:
+        cursor.feed(chunk)
+    return cursor.finish()
+
+
+def simulate_trace_batch_chunked(
+    chunks, configs: Sequence[CacheConfig], flush: bool = True, backend: str = None
+) -> List[CacheStats]:
+    """Chunk-major grid run: every config advances through each chunk.
+
+    One cursor per config; the chunk iterable is consumed exactly once,
+    so a streamed source works.  Results match
+    ``[simulate_trace(whole_trace, c, flush, backend) for c in configs]``
+    bit for bit.
+    """
+    from repro.cache.chunked import open_cursor
+
+    cursors = [open_cursor(config, flush=flush, backend=backend) for config in configs]
+    for chunk in chunks:
+        for cursor in cursors:
+            cursor.feed(chunk)
+    return [cursor.finish() for cursor in cursors]

@@ -14,6 +14,9 @@ Subcommands:
 - ``store`` — inspect or maintain the persistent result store (stats are
   grouped by experiment kind; ``quarantine`` lists records that failed to
   read, with their reason codes).
+- ``trace`` — manage the catalog of ingested traces (``add``/``ls``/
+  ``rm``); catalogued traces are keyed by content hash and run as
+  ``ingested:<hash>`` workloads (see docs/workloads.md).
 - ``serve`` — run the long-lived experiment service: one warm pool and
   store behind an HTTP/JSON API, with cross-client coalescing and
   graceful drain on SIGTERM/SIGINT (see docs/service.md).
@@ -132,6 +135,13 @@ def _add_sweep_axis_flags(parser) -> None:
         "--write-miss", choices=sorted(_MISS_POLICIES), default="fetch-on-write"
     )
     parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument(
+        "--workload", action="append", dest="workloads", default=None,
+        metavar="NAME",
+        help="workload to sweep (repeatable; a benchmark name or "
+        "'ingested:<hash>' from the trace catalog; default: the full "
+        "six-benchmark corpus)",
+    )
     hierarchy = parser.add_argument_group(
         "hierarchy axes (--kind system only; ignored otherwise)"
     )
@@ -313,6 +323,32 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print the result as JSON (same shape as 'sweep --json')",
     )
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="manage the catalog of ingested traces (content-hash keyed; "
+        "see docs/workloads.md)",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_action", required=True)
+    trace_add = trace_sub.add_parser(
+        "add", help="ingest a trace file into the catalog"
+    )
+    trace_add.add_argument("path", help="trace file ('-' reads stdin; .gz ok)")
+    trace_add.add_argument(
+        "--format", choices=("auto", "text", "din", "csv"), default="auto",
+        help="input format (default: sniffed from name and content)",
+    )
+    trace_add.add_argument(
+        "--name", default=None, help="display name (default: the file name)"
+    )
+    trace_add.add_argument(
+        "--access-size", type=int, default=4,
+        help="reference size assumed for din records (default: 4)",
+    )
+    trace_ls = trace_sub.add_parser("ls", help="list catalogued traces")
+    trace_ls.add_argument("--json", action="store_true")
+    trace_rm = trace_sub.add_parser("rm", help="remove a catalogued trace")
+    trace_rm.add_argument("hash", help="content hash (a unique prefix works)")
 
     jobs = subparsers.add_parser("jobs", help="list a service's jobs")
     _add_url_flag(jobs)
@@ -511,12 +547,13 @@ def _command_sweep(args) -> int:
         return 2
 
     x_label, x_values, configs, detail = _sweep_axis(args)
+    workloads = args.workloads or list(BENCHMARK_NAMES)
     callback = verbose_reporter() if args.verbose else None
     # Workload-major so each workload's configs form one batched task.
     runner.prefetch(
         [
             runner.experiment_key(args.kind, name, config, scale=args.scale)
-            for name in BENCHMARK_NAMES
+            for name in workloads
             for config in configs
         ],
         jobs=args.jobs,
@@ -526,6 +563,7 @@ def _command_sweep(args) -> int:
         args.kind,
         configs,
         lambda stats: getattr(stats, metric_name),
+        workloads=workloads,
         scale=args.scale,
     )
     # Aggregate counters (prefetch + sweep batches), matching the figures
@@ -610,6 +648,95 @@ def _command_store(args) -> int:
             f"gc: kept {kept}, quarantined {removed} stale/corrupt records "
             f"(inspect with 'store quarantine')"
         )
+        from repro.trace.catalog import CATALOG_DIRNAME, TraceCatalog
+
+        catalog = TraceCatalog(store.root / CATALOG_DIRNAME)
+        trace_kept, trace_quarantined = catalog.gc()
+        print(
+            f"trace catalog: kept {trace_kept}, quarantined "
+            f"{trace_quarantined} records with missing payloads"
+        )
+    return 0
+
+
+def _command_trace(args) -> int:
+    import json
+
+    from repro.common.errors import ConfigurationError, TraceFormatError
+    from repro.trace.catalog import INGESTED_PREFIX, open_default_catalog
+
+    catalog = open_default_catalog()
+    if catalog is None:
+        print(
+            "trace catalog is disabled (REPRO_RESULT_DIR=off); set "
+            "REPRO_RESULT_DIR to the store root",
+            file=sys.stderr,
+        )
+        return 1
+    if args.trace_action == "add":
+        source = sys.stdin.buffer if args.path == "-" else args.path
+        try:
+            record = catalog.add(
+                source,
+                format=args.format,
+                name=args.name,
+                access_size=args.access_size,
+            )
+        except (TraceFormatError, ConfigurationError, OSError) as error:
+            print(f"trace add failed: {error}", file=sys.stderr)
+            return 1
+        if record["duplicate"]:
+            print(
+                f"already catalogued as {record['hash'][:12]} "
+                f"({record['name']})",
+                file=sys.stderr,
+            )
+        print(f"hash:     {record['hash']}")
+        print(f"name:     {record['name']}")
+        print(
+            f"refs:     {record['refs']} "
+            f"({record['reads']} reads, {record['writes']} writes)"
+        )
+        print(f"instrs:   {record['instructions']}")
+        print(f"workload: {INGESTED_PREFIX}{record['hash']}")
+        return 0
+    if args.trace_action == "ls":
+        records = catalog.ls()
+        if args.json:
+            print(json.dumps({"traces": records}))
+            return 0
+        if not records:
+            print(f"trace catalog is empty ({catalog.root})")
+            return 0
+        rows = [
+            [
+                record["hash"][:12],
+                record["name"],
+                record["refs"],
+                record["reads"],
+                record["writes"],
+                record["instructions"],
+            ]
+            for record in records
+        ]
+        print(
+            format_table(
+                ["hash", "name", "refs", "reads", "writes", "instrs"],
+                rows,
+                title=f"ingested traces ({catalog.root})",
+            )
+        )
+        return 0
+    # rm
+    from repro.common.errors import ReproError
+
+    try:
+        digest = catalog.resolve(args.hash)
+    except ReproError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    catalog.rm(digest)
+    print(f"removed {digest[:12]}")
     return 0
 
 
@@ -691,11 +818,12 @@ def _command_submit(args) -> int:
     if metric_name is None:
         return 2
     x_label, x_values, configs, detail = _sweep_axis(args)
+    workloads = args.workloads or list(BENCHMARK_NAMES)
     url = _service_url(args)
     client = ServiceClient(url)
     payload = grid_request(
         args.kind,
-        BENCHMARK_NAMES,
+        workloads,
         configs,
         scale=args.scale,
         priority=args.priority,
@@ -726,12 +854,11 @@ def _command_submit(args) -> int:
 
     # Results come back workload-major (the grid shape), so regroup into
     # the same per-workload series a local sweep builds.
-    series = {name: [] for name in BENCHMARK_NAMES}
+    series = {name: [] for name in workloads}
     for spec, stats in pairs:
         series[spec.workload].append(getattr(stats, metric_name))
     series["average"] = [
-        sum(series[name][index] for name in BENCHMARK_NAMES)
-        / len(BENCHMARK_NAMES)
+        sum(series[name][index] for name in workloads) / len(workloads)
         for index in range(len(configs))
     ]
     if args.json:
@@ -861,6 +988,7 @@ _COMMANDS = {
     "report": _command_report,
     "sweep": _command_sweep,
     "store": _command_store,
+    "trace": _command_trace,
     "serve": _command_serve,
     "submit": _command_submit,
     "jobs": _command_jobs,

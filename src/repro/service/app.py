@@ -25,9 +25,19 @@ condition-signalled event log):
 ``GET /v1/jobs/{id}/result``          specs + stats + telemetry once done
 ``GET /v1/store/stats``               the store summary, as JSON
 ``GET /v1/runs[?kind=...]``           store catalog (digest/kind/key rows)
+``POST /v1/traces[?format=&name=]``   ingest the raw request body into the
+                                      trace catalog (201; 400 malformed
+                                      trace; 404 store disabled)
+``GET /v1/traces``                    catalogued traces, newest first
+``GET /v1/traces/{hash}``             one catalog record (prefix ok)
+``DELETE /v1/traces/{hash}``          drop a catalog entry
 ``GET /v1/health``                    liveness + drain state
 ``GET /v1/telemetry``                 service counters incl. ``coalesced``
 ====================================  =====================================
+
+Catalogued traces run through the normal job API as ``ingested:<hash>``
+workload names (see docs/workloads.md), deduplicating by content hash
+like every other spec.
 
 Graceful drain: :meth:`ExperimentService.begin_drain` flips submissions
 to 503 while in-flight *and already-queued* jobs run to completion and
@@ -339,6 +349,16 @@ class ExperimentService:
                 }
             )
 
+    @property
+    def catalog(self):
+        """The trace catalog under the store root; ``None`` when the
+        store is disabled (catalogued traces need persistence)."""
+        if self.store is None:
+            return None
+        from repro.trace.catalog import CATALOG_DIRNAME, TraceCatalog
+
+        return TraceCatalog(self.store.root / CATALOG_DIRNAME)
+
     # -- reporting -----------------------------------------------------------
 
     def telemetry_snapshot(self) -> dict:
@@ -415,6 +435,13 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         parsed = urlparse(self.path)
+        if parsed.path == "/v1/traces":
+            query = {
+                name: values[-1]
+                for name, values in parse_qs(parsed.query).items()
+            }
+            self._trace_add(query)
+            return
         if parsed.path != "/v1/jobs":
             self._send_json(404, {"error": f"no such endpoint: {parsed.path}"})
             return
@@ -465,8 +492,81 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             self._store_stats()
         elif parts == ["v1", "runs"]:
             self._store_runs(query.get("kind"))
+        elif parts == ["v1", "traces"]:
+            catalog = self.service.catalog
+            if catalog is None:
+                self._send_json(404, {"error": "result store is disabled"})
+                return
+            records = catalog.ls()
+            self._send_json(200, {"traces": records, "count": len(records)})
+        elif parts[:2] == ["v1", "traces"] and len(parts) == 3:
+            self._trace_get(parts[2])
         else:
             self._send_json(404, {"error": f"no such endpoint: {parsed.path}"})
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        parsed = urlparse(self.path)
+        parts = [part for part in parsed.path.split("/") if part]
+        if parts[:2] != ["v1", "traces"] or len(parts) != 3:
+            self._send_json(404, {"error": f"no such endpoint: {parsed.path}"})
+            return
+        catalog = self.service.catalog
+        if catalog is None:
+            self._send_json(404, {"error": "result store is disabled"})
+            return
+        from repro.common.errors import ReproError
+
+        try:
+            digest = catalog.resolve(parts[2])
+        except ReproError as error:
+            self._send_json(404, {"error": str(error)})
+            return
+        catalog.rm(digest)
+        self._send_json(200, {"removed": digest})
+
+    def _trace_add(self, query) -> None:
+        import io
+
+        from repro.common.errors import ReproError, TraceFormatError
+
+        catalog = self.service.catalog
+        if catalog is None:
+            self._send_json(404, {"error": "result store is disabled"})
+            return
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            self._send_json(400, {"error": "empty request body"})
+            return
+        try:
+            access_size = int(query.get("access_size", 4))
+            record = catalog.add(
+                io.BytesIO(raw),
+                format=query.get("format", "auto"),
+                name=query.get("name") or "<upload>",
+                access_size=access_size,
+            )
+        except (TraceFormatError, ReproError, ValueError) as error:
+            self._send_json(400, {"error": str(error)})
+            return
+        status = 200 if record.get("duplicate") else 201
+        record["workload"] = f"ingested:{record['hash']}"
+        self._send_json(status, record)
+
+    def _trace_get(self, digest: str) -> None:
+        catalog = self.service.catalog
+        if catalog is None:
+            self._send_json(404, {"error": "result store is disabled"})
+            return
+        from repro.common.errors import ReproError
+
+        try:
+            record = catalog.get(catalog.resolve(digest))
+        except ReproError as error:
+            self._send_json(404, {"error": str(error)})
+            return
+        record["workload"] = f"ingested:{record['hash']}"
+        self._send_json(200, record)
 
     def _job_route(self, parts, query) -> None:
         job = self.service.job(parts[2])

@@ -24,7 +24,27 @@ _cache: Dict[Tuple[str, float, int], Trace] = {}
 
 
 def load(name: str, scale: float = DEFAULT_SCALE, seed: int = 1991) -> Trace:
-    """Return the (cached) trace for benchmark ``name``."""
+    """Return the (cached) trace for benchmark ``name``.
+
+    Besides the generated corpus, ``ingested:<content-hash>`` names
+    resolve through the trace catalog (:mod:`repro.trace.catalog`) to an
+    externally captured trace; ``scale`` and ``seed`` are ignored for
+    those (the content hash alone fixes the reference stream, which is
+    exactly why it keys the ``RunKey``).
+    """
+    if name.startswith("ingested:"):
+        from repro.trace.catalog import open_default_catalog
+
+        key = (name, 0.0, 0)
+        if key not in _cache:
+            catalog = open_default_catalog()
+            if catalog is None:
+                raise ConfigurationError(
+                    "ingested workloads need the result store enabled "
+                    "(set REPRO_RESULT_DIR to the store root)"
+                )
+            _cache[key] = catalog.load(name[len("ingested:"):])
+        return _cache[key]
     if name not in WORKLOADS:
         raise ConfigurationError(
             f"unknown benchmark {name!r}; expected one of {sorted(WORKLOADS)}"

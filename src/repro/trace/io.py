@@ -7,9 +7,15 @@ inspected, diffed, and produced by external tools:
     r <hex-address> <size> [icount]
     w <hex-address> <size> [icount]
 
-``icount`` defaults to 1.  Files ending in ``.gz`` are transparently
-compressed.  The format intentionally round-trips everything a
-:class:`~repro.trace.trace.Trace` holds.
+``icount`` defaults to 1.  Writes compress when the path ends in
+``.gz``; reads sniff the gzip magic bytes, so compressed files are
+recognised regardless of their name.  The format intentionally
+round-trips everything a :class:`~repro.trace.trace.Trace` holds.
+
+For bulk ingestion of large or externally captured traces, prefer the
+chunked array-native path in :mod:`repro.trace.ingest` — it parses the
+same formats (plus CSV) orders of magnitude faster and in bounded
+memory.
 """
 
 import gzip
@@ -24,10 +30,52 @@ _KIND_CHARS = {READ: "r", WRITE: "w"}
 _CHAR_KINDS = {"r": READ, "w": WRITE}
 
 
+#: Leading bytes of every gzip stream (RFC 1952).
+_GZIP_MAGIC = b"\x1f\x8b"
+
+
 def _open(path: str, mode: str):
+    """Open a trace file for reading or writing, gzip-aware.
+
+    Writes honour the ``.gz`` suffix (the caller chose the name), but
+    reads sniff the gzip magic bytes instead: a gzip file without the
+    suffix and a plain file misnamed ``.gz`` both open correctly.
+    ``utf-8-sig`` decoding strips a leading BOM transparently.
+    """
+    if "r" in mode:
+        raw = open(path, "rb")
+        try:
+            magic = raw.read(len(_GZIP_MAGIC))
+            raw.seek(0)
+        except OSError:
+            raw.close()
+            raise
+        if magic == _GZIP_MAGIC:
+            return io.TextIOWrapper(
+                gzip.GzipFile(fileobj=raw), encoding="utf-8-sig"
+            )
+        return io.TextIOWrapper(raw, encoding="utf-8-sig")
     if str(path).endswith(".gz"):
         return gzip.open(path, mode + "t", encoding="ascii")
     return open(path, mode, encoding="ascii")
+
+
+def _numbered_lines(stream):
+    """Enumerate lines, converting stream-level failures (truncated gzip,
+    undecodable bytes) into :class:`TraceFormatError` with a position."""
+    line_number = 0
+    iterator = iter(stream)
+    while True:
+        try:
+            line = next(iterator)
+        except StopIteration:
+            return
+        except (EOFError, OSError, UnicodeDecodeError) as exc:
+            raise TraceFormatError(
+                f"line {line_number + 1}: unreadable trace data ({exc})"
+            ) from exc
+        line_number += 1
+        yield line_number, line
 
 
 def write_trace(trace: Trace, path: str) -> None:
@@ -45,7 +93,7 @@ def write_trace(trace: Trace, path: str) -> None:
 
 def iter_trace_lines(stream: io.TextIOBase) -> Iterator[MemRef]:
     """Parse an open text stream into :class:`MemRef` events."""
-    for line_number, line in enumerate(stream, start=1):
+    for line_number, line in _numbered_lines(stream):
         text = line.strip()
         if not text or text.startswith("#"):
             continue
@@ -85,7 +133,7 @@ def iter_din_lines(stream: io.TextIOBase, access_size: int = 4) -> Iterator[MemR
     instruction rates).  Addresses are aligned down to ``access_size``.
     """
     pending_instructions = 0
-    for line_number, line in enumerate(stream, start=1):
+    for line_number, line in _numbered_lines(stream):
         text = line.strip()
         if not text or text.startswith("#"):
             continue
@@ -104,7 +152,10 @@ def iter_din_lines(stream: io.TextIOBase, access_size: int = 4) -> Iterator[MemR
             raise TraceFormatError(f"line {line_number}: unknown din label {label}")
         kind = READ if label == 0 else WRITE
         aligned = address & ~(access_size - 1)
-        yield MemRef(aligned, access_size, kind, icount=pending_instructions + 1)
+        try:
+            yield MemRef(aligned, access_size, kind, icount=pending_instructions + 1)
+        except Exception as exc:
+            raise TraceFormatError(f"line {line_number}: {exc}") from exc
         pending_instructions = 0
 
 
